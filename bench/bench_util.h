@@ -1,0 +1,99 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Each figure binary registers one google-benchmark case per sweep point;
+// a case runs DAOSIM_REPS (default 3) fresh testbeds with different seeds,
+// reports mean/stddev bandwidths as counters, and accumulates rows for the
+// paper-style table printed after the run. DAOSIM_OPS scales per-process
+// op counts; see apps/sweep.h.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/runner.h"
+#include "apps/sweep.h"
+
+namespace daosim::bench {
+
+using apps::Measurement;
+using apps::Series;
+using apps::SweepPoint;
+
+/// Rows accumulated per series for the end-of-run table.
+inline std::vector<Series>& allSeries() {
+  static std::vector<Series> series;
+  return series;
+}
+
+inline Series& seriesNamed(const std::string& name) {
+  for (auto& s : allSeries()) {
+    if (s.name == name) return s;
+  }
+  allSeries().push_back(Series{name, {}});
+  return allSeries().back();
+}
+
+/// A point runner: executes one full benchmark run (fresh testbed) for one
+/// repetition and returns its result. Called DAOSIM_REPS times per point.
+using PointRunner =
+    std::function<apps::RunResult(SweepPoint, std::uint64_t seed)>;
+
+/// Registers one google-benchmark case per sweep point for `series`.
+inline void registerSweep(const std::string& series,
+                          const std::vector<SweepPoint>& grid,
+                          PointRunner runner, bool show_iops = false,
+                          const std::string& col1 = "clients") {
+  seriesNamed(series).col1 = col1;
+  for (const SweepPoint& pt : grid) {
+    const std::string name = series + "/c" + std::to_string(pt.client_nodes) +
+                             "/n" + std::to_string(pt.procs_per_node);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [series, pt, runner, show_iops](benchmark::State& state) {
+          Measurement m;
+          m.point = pt;
+          for (auto _ : state) {
+            const int reps = apps::envReps();
+            for (int rep = 0; rep < reps; ++rep) {
+              m.add(runner(pt, static_cast<std::uint64_t>(rep + 1)));
+            }
+          }
+          if (show_iops) {
+            state.counters["write_kIOPS"] = m.write_kiops.mean();
+            state.counters["write_kIOPS_sd"] = m.write_kiops.stddev();
+            state.counters["read_kIOPS"] = m.read_kiops.mean();
+            state.counters["read_kIOPS_sd"] = m.read_kiops.stddev();
+          } else {
+            state.counters["write_GiBps"] = m.write_gibps.mean();
+            state.counters["write_GiBps_sd"] = m.write_gibps.stddev();
+            state.counters["read_GiBps"] = m.read_gibps.mean();
+            state.counters["read_GiBps_sd"] = m.read_gibps.stddev();
+          }
+          seriesNamed(series).points.push_back(m);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+/// main() body for every figure binary: run benchmarks, then print the
+/// paper-style tables to stderr.
+inline int benchMain(int argc, char** argv, const char* figure_title,
+                     bool show_iops = false) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cerr << "\n#### " << figure_title << " ####\n";
+  for (const auto& s : allSeries()) {
+    apps::printSeries(std::cerr, s, show_iops);
+  }
+  return 0;
+}
+
+}  // namespace daosim::bench

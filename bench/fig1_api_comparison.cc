@@ -1,0 +1,58 @@
+// E1 — Fig. 1: IOR through the four DAOS APIs (libdaos, libdfs, DFUSE,
+// DFUSE+IL) against a 16-server DAOS system; client node and process count
+// optimisation grid; 1 MiB transfers, object class SX.
+//
+// Expected shape (paper): all APIs reach ~60 GiB/s write / ~90 GiB/s read
+// at saturation (ideals 61.76 and 100); libdaos is ahead at low process
+// counts; 16 client nodes suffice.
+#include "apps/ior.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace daosim;
+using apps::DaosTestbed;
+using apps::IorConfig;
+using apps::IorDaos;
+using apps::SweepPoint;
+
+apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
+                         std::uint64_t seed) {
+  DaosTestbed::Options opt;
+  opt.server_nodes = 16;
+  opt.client_nodes = pt.client_nodes;
+  opt.seed = seed;
+  opt.with_dfuse = api != IorDaos::Api::kDaosArray;
+  DaosTestbed tb(opt);
+
+  IorConfig cfg;
+  cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000));
+  IorDaos bench(tb, api, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
+                       pt.procs_per_node, bench);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto grid =
+      apps::envFullGrid()
+          ? apps::crossGrid({1, 2, 4, 8, 16}, {1, 2, 4, 8, 16, 32})
+          : apps::crossGrid({1, 4, 16}, {1, 4, 16, 32});
+
+  const std::pair<const char*, IorDaos::Api> apis[] = {
+      {"ior-libdaos", IorDaos::Api::kDaosArray},
+      {"ior-libdfs", IorDaos::Api::kDfs},
+      {"ior-dfuse", IorDaos::Api::kDfuse},
+      {"ior-dfuse+il", IorDaos::Api::kDfuseIl},
+  };
+  for (const auto& [name, api] : apis) {
+    bench::registerSweep(name, grid,
+                         [api = api](SweepPoint pt, std::uint64_t seed) {
+                           return runPoint(api, pt, seed);
+                         });
+  }
+  return bench::benchMain(
+      argc, argv,
+      "E1 / Fig. 1: IOR API comparison, 16-server DAOS, 1 MiB transfers");
+}

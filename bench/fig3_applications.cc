@@ -1,0 +1,87 @@
+// E3 — Fig. 3: the DAOS applications against a 16-server system:
+// (a,b) IOR/HDF5 on DFUSE+IL, (c,d) IOR/HDF5 on libdaos,
+// (e,f) Field I/O (SX KVs, S1 arrays), (g,h) fdb-hammer (S1 KVs and arrays).
+// All perform the equivalent workload of 1 MiB per I/O, with ~10 KV
+// operations per object for the two weather benchmarks.
+//
+// Expected shape (paper): Field I/O and fdb-hammer come close to plain IOR;
+// Field I/O's read scaling is linear but trails fdb-hammer (size checks);
+// both HDF5 variants trail everything, HDF5-on-libdaos worst (container per
+// process + serialized OID/epoch metadata on the pool-service leader).
+#include "apps/fdb.h"
+#include "apps/fieldio.h"
+#include "apps/ior.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace daosim;
+using apps::DaosTestbed;
+using apps::SweepPoint;
+
+DaosTestbed::Options options16(SweepPoint pt, std::uint64_t seed,
+                               bool with_dfuse) {
+  DaosTestbed::Options opt;
+  opt.server_nodes = 16;
+  opt.client_nodes = pt.client_nodes;
+  opt.seed = seed;
+  opt.with_dfuse = with_dfuse;
+  return opt;
+}
+
+apps::RunResult runHdf5(apps::IorDaos::Api api, SweepPoint pt,
+                        std::uint64_t seed) {
+  DaosTestbed tb(options16(pt, seed, api == apps::IorDaos::Api::kHdf5DfuseIl));
+  apps::IorConfig cfg;
+  cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
+                            /*total_target=*/20000);
+  apps::IorDaos bench(tb, api, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
+                       pt.procs_per_node, bench);
+}
+
+apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
+  DaosTestbed tb(options16(pt, seed, false));
+  apps::FieldIoConfig cfg;
+  cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
+                               /*total_target=*/20000);
+  apps::FieldIo bench(tb, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
+                       pt.procs_per_node, bench);
+}
+
+apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
+  DaosTestbed tb(options16(pt, seed, false));
+  apps::FdbConfig cfg;
+  cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
+                               /*total_target=*/20000);
+  apps::FdbDaos bench(tb, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
+                       pt.procs_per_node, bench);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto ior_grid = apps::envFullGrid()
+                            ? apps::crossGrid({1, 4, 16}, {1, 4, 16, 32})
+                            : apps::crossGrid({1, 4, 16}, {4, 16});
+  const auto app_grid = apps::envFullGrid()
+                            ? apps::crossGrid({1, 4, 16, 32}, {1, 4, 16, 32})
+                            : apps::crossGrid({1, 4, 16, 32}, {4, 16});
+
+  bench::registerSweep("ior-hdf5-dfuse+il", ior_grid,
+                       [](SweepPoint pt, std::uint64_t seed) {
+                         return runHdf5(apps::IorDaos::Api::kHdf5DfuseIl, pt,
+                                        seed);
+                       });
+  bench::registerSweep("ior-hdf5-libdaos", ior_grid,
+                       [](SweepPoint pt, std::uint64_t seed) {
+                         return runHdf5(apps::IorDaos::Api::kHdf5Daos, pt,
+                                        seed);
+                       });
+  bench::registerSweep("fieldio", app_grid, runFieldIo);
+  bench::registerSweep("fdb-hammer-daos", app_grid, runFdb);
+  return bench::benchMain(
+      argc, argv, "E3 / Fig. 3: applications against a 16-server DAOS");
+}

@@ -1,0 +1,53 @@
+// E4 — Fig. 4: IOR on libdaos vs IOR/HDF5 on libdaos against a *4-server*
+// DAOS system.
+//
+// Expected shape (paper): at this small scale the HDF5 DAOS adaptor can
+// approach optimal hardware performance like plain IOR — the serialized
+// pool-leader metadata path only becomes the bottleneck beyond ~4 servers
+// (compare fig3/fig5).
+#include "apps/ior.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace daosim;
+using apps::DaosTestbed;
+using apps::IorConfig;
+using apps::IorDaos;
+using apps::SweepPoint;
+
+apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
+                         std::uint64_t seed) {
+  DaosTestbed::Options opt;
+  opt.server_nodes = 4;
+  opt.client_nodes = pt.client_nodes;
+  opt.seed = seed;
+  opt.with_dfuse = false;
+  DaosTestbed tb(opt);
+
+  IorConfig cfg;
+  cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
+                            /*total_target=*/20000);
+  IorDaos bench(tb, api, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
+                       pt.procs_per_node, bench);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto grid = apps::envFullGrid()
+                        ? apps::crossGrid({1, 2, 4, 8, 16}, {1, 4, 16, 32})
+                        : apps::crossGrid({1, 4, 16}, {4, 16, 32});
+  bench::registerSweep("ior-libdaos-4srv", grid,
+                       [](SweepPoint pt, std::uint64_t seed) {
+                         return runPoint(IorDaos::Api::kDaosArray, pt, seed);
+                       });
+  bench::registerSweep("ior-hdf5-libdaos-4srv", grid,
+                       [](SweepPoint pt, std::uint64_t seed) {
+                         return runPoint(IorDaos::Api::kHdf5Daos, pt, seed);
+                       });
+  return bench::benchMain(
+      argc, argv,
+      "E4 / Fig. 4: IOR vs IOR/HDF5 on libdaos, 4-server DAOS");
+}

@@ -1,0 +1,90 @@
+// E5 — Fig. 5: write/read scalability of every DAOS API and application
+// with server count (1..24), no redundancy, at the optimal client
+// configuration found in Figs. 1/3 (16 client nodes x 16 processes).
+//
+// Expected shape (paper): near-linear scaling to 24 servers for IOR on all
+// four APIs and for Field I/O / fdb-hammer; HDF5-on-DFUSE+IL reaches about
+// half and flattens around 16 servers; HDF5-on-libdaos stops scaling beyond
+// ~4 servers (serialized adaptor metadata).
+#include "apps/fdb.h"
+#include "apps/fieldio.h"
+#include "apps/ior.h"
+#include "bench_util.h"
+
+namespace {
+
+using namespace daosim;
+using apps::DaosTestbed;
+using apps::SweepPoint;
+
+constexpr int kClients = 16;
+constexpr int kPpn = 16;
+
+DaosTestbed makeTestbed(int servers, std::uint64_t seed, bool with_dfuse) {
+  DaosTestbed::Options opt;
+  opt.server_nodes = servers;
+  opt.client_nodes = kClients;
+  opt.seed = seed;
+  opt.with_dfuse = with_dfuse;
+  return DaosTestbed(opt);
+}
+
+// The sweep "client_nodes" column carries the *server* count here.
+apps::RunResult runIor(apps::IorDaos::Api api, SweepPoint pt,
+                       std::uint64_t seed) {
+  DaosTestbed tb = makeTestbed(pt.client_nodes, seed,
+                               api != apps::IorDaos::Api::kDaosArray);
+  apps::IorConfig cfg;
+  const bool hdf5 = api == apps::IorDaos::Api::kHdf5Daos ||
+                    api == apps::IorDaos::Api::kHdf5DfuseIl;
+  cfg.ops = apps::scaledOps(kClients * kPpn, apps::envOps(1000),
+                            hdf5 ? 20000 : 40000);
+  apps::IorDaos bench(tb, api, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
+}
+
+apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
+  DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
+  apps::FieldIoConfig cfg;
+  cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
+  apps::FieldIo bench(tb, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
+}
+
+apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
+  DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
+  apps::FdbConfig cfg;
+  cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
+  apps::FdbDaos bench(tb, cfg);
+  return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Server counts on the x axis (as SweepPoint.client_nodes).
+  std::vector<apps::SweepPoint> servers;
+  for (int s : {1, 2, 4, 8, 16, 24}) servers.push_back({s, kPpn});
+
+  const std::pair<const char*, apps::IorDaos::Api> apis[] = {
+      {"ior-libdaos", apps::IorDaos::Api::kDaosArray},
+      {"ior-libdfs", apps::IorDaos::Api::kDfs},
+      {"ior-dfuse", apps::IorDaos::Api::kDfuse},
+      {"ior-dfuse+il", apps::IorDaos::Api::kDfuseIl},
+      {"ior-hdf5-dfuse+il", apps::IorDaos::Api::kHdf5DfuseIl},
+      {"ior-hdf5-libdaos", apps::IorDaos::Api::kHdf5Daos},
+  };
+  for (const auto& [name, api] : apis) {
+    bench::registerSweep(
+        name, servers,
+        [api = api](SweepPoint pt, std::uint64_t seed) {
+          return runIor(api, pt, seed);
+        },
+        /*show_iops=*/false, /*col1=*/"servers");
+  }
+  bench::registerSweep("fieldio", servers, runFieldIo, false, "servers");
+  bench::registerSweep("fdb-hammer-daos", servers, runFdb, false, "servers");
+  return bench::benchMain(
+      argc, argv,
+      "E5 / Fig. 5: scalability with DAOS server count (16x16 clients)");
+}

@@ -1,0 +1,107 @@
+// POSIX on DAOS, three ways: libdfs directly, through the DFUSE daemon, and
+// through DFUSE with the interception library.
+//
+//   $ ./build/examples/posix_on_daos
+//
+// Builds a small namespace (directories, files, a symlink) through each
+// access path, shows they all see the same file system, and compares the
+// time a burst of small writes takes on each path — the paper's Fig. 2
+// effect in miniature.
+#include <cstdio>
+#include <string>
+
+#include "daos/client.h"
+#include "daos/system.h"
+#include "dfs/dfs.h"
+#include "hw/cluster.h"
+#include "posix/dfuse.h"
+#include "sim/simulation.h"
+
+using namespace daosim;
+using daos::Client;
+using daos::Container;
+using posix::OpenFlags;
+using sim::Task;
+using vos::Payload;
+
+namespace {
+
+Task<sim::Time> smallWriteBurst(posix::Vfs& vfs, sim::Simulation& sim,
+                                std::string path, int ops) {
+  posix::Fd fd = co_await vfs.open(std::move(path), OpenFlags::writeCreate());
+  const sim::Time t0 = sim.now();
+  for (int i = 0; i < ops; ++i) {
+    co_await vfs.pwrite(fd, static_cast<std::uint64_t>(i) * 1024,
+                        Payload::synthetic(1024));
+  }
+  const sim::Time span = sim.now() - t0;
+  co_await vfs.close(fd);
+  co_return span;
+}
+
+Task<void> run(Client& client, sim::Simulation& sim, bool& ok) {
+  co_await client.poolConnect();
+  Container cont = co_await client.contCreate("posix-demo");
+  dfs::FileSystem fs = co_await dfs::FileSystem::mount(client, cont);
+
+  // Build a namespace through libdfs.
+  co_await fs.mkdirs("/projects/forecast");
+  dfs::File readme = co_await fs.open("/projects/forecast/README",
+                                      {.create = true});
+  co_await fs.write(readme, 0,
+                    Payload::fromString("hourly forecast outputs"));
+  co_await fs.symlink("/projects/forecast", "/latest");
+
+  // The DFUSE daemon exposes the same container as a POSIX mount.
+  posix::DfuseDaemon daemon(sim, fs, posix::DfuseConfig{});
+  posix::DfuseVfs dfuse(daemon);
+  auto st = co_await dfuse.stat("/latest/README");  // via the symlink
+  std::printf("stat over DFUSE via symlink: size=%llu\n",
+              static_cast<unsigned long long>(st.size));
+
+  // And the interception library bypasses the daemon for data.
+  posix::InterceptVfs il(daemon, fs);
+  posix::Fd fd = co_await il.open("/projects/forecast/README",
+                                  OpenFlags::readOnly());
+  Payload text = co_await il.pread(fd, 0, st.size);
+  std::printf("read through DFUSE+IL: \"%s\"\n", text.toString().c_str());
+  co_await il.close(fd);
+
+  // Small-I/O burst comparison (the Fig. 2 effect).
+  const int ops = 200;
+  posix::DfsVfs direct(fs);
+  const sim::Time t_dfs =
+      co_await smallWriteBurst(direct, sim, "/burst.dfs", ops);
+  const sim::Time t_fuse =
+      co_await smallWriteBurst(dfuse, sim, "/burst.fuse", ops);
+  const sim::Time t_il = co_await smallWriteBurst(il, sim, "/burst.il", ops);
+  std::printf("200 x 1 KiB writes: libdfs %llu us | dfuse %llu us | "
+              "dfuse+IL %llu us\n",
+              static_cast<unsigned long long>(t_dfs / sim::kMicrosecond),
+              static_cast<unsigned long long>(t_fuse / sim::kMicrosecond),
+              static_cast<unsigned long long>(t_il / sim::kMicrosecond));
+
+  ok = st.size == 23 && text.toString() == "hourly forecast outputs" &&
+       t_fuse > t_il && t_il > t_dfs;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto servers = cluster.addNodes(hw::NodeSpec::server(), 2);
+  auto client_node = cluster.addNode(hw::NodeSpec::client());
+  daos::DaosSystem system(cluster, servers);
+  Client client(system, client_node, 1);
+
+  bool ok = false;
+  auto proc = sim.spawn(run(client, sim, ok));
+  sim.run();
+  if (proc.failed() || !ok) {
+    std::fprintf(stderr, "posix_on_daos FAILED\n");
+    return 1;
+  }
+  std::printf("posix_on_daos OK\n");
+  return 0;
+}

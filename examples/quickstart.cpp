@@ -1,0 +1,89 @@
+// Quickstart: deploy a small simulated DAOS system, store and retrieve
+// real data through the Key-Value and Array APIs, and print what happened.
+//
+//   $ ./build/examples/quickstart
+//
+// This walks the same code paths the paper's benchmarks use — pool
+// connection, container creation, client-side OID generation with an object
+// class, Array and KV I/O — but with byte-accurate payloads verified on
+// read-back.
+#include <cstdio>
+#include <string>
+
+#include "daos/array.h"
+#include "daos/client.h"
+#include "daos/kv.h"
+#include "daos/system.h"
+#include "hw/cluster.h"
+#include "sim/simulation.h"
+
+using namespace daosim;
+using daos::Array;
+using daos::Client;
+using daos::Container;
+using daos::KeyValue;
+using placement::ObjClass;
+using sim::Task;
+using vos::Payload;
+
+namespace {
+
+Task<void> quickstart(Client& client, bool& ok) {
+  // 1. Connect to the pool and create a container (an isolated object
+  //    namespace with its own transaction history).
+  co_await client.poolConnect();
+  Container cont = co_await client.contCreate("quickstart");
+  std::printf("connected; container id=%llu\n",
+              static_cast<unsigned long long>(cont.id));
+
+  // 2. Key-Value object, sharded over every target (class SX).
+  KeyValue kv(client, cont, client.nextOid(ObjClass::SX));
+  co_await kv.put("model", Payload::fromString("IFS cycle 48r1"));
+  co_await kv.put("grid", Payload::fromString("O1280"));
+  auto model = co_await kv.get("model");
+  std::printf("kv get(model) -> %s\n",
+              model ? model->toString().c_str() : "<missing>");
+
+  // 3. Array object: a sparse 1-D byte array, chunked at 1 MiB. Write a
+  //    3.5 MiB pattern, read it back, verify every byte.
+  Array array = co_await Array::create(
+      client, cont, client.nextOid(ObjClass::SX),
+      {.cell_size = 1, .chunk_size = 1 << 20});
+  Payload pattern = vos::patternPayload(3'500'000, /*seed=*/2026);
+  const sim::Time t0 = client.sim().now();
+  co_await array.write(0, pattern);
+  const sim::Time w_us = (client.sim().now() - t0) / sim::kMicrosecond;
+  Payload back = co_await array.read(0, 3'500'000);
+  std::printf("array round trip: %llu bytes in %llu us (write), data %s\n",
+              static_cast<unsigned long long>(back.size()),
+              static_cast<unsigned long long>(w_us),
+              back == pattern ? "VERIFIED" : "CORRUPT");
+  std::printf("array size reported by the pool: %llu\n",
+              static_cast<unsigned long long>(co_await array.getSize()));
+
+  ok = model.has_value() && model->toString() == "IFS cycle 48r1" &&
+       back == pattern;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  // 4 DAOS servers (16 NVMe targets each) + 1 client node.
+  auto servers = cluster.addNodes(hw::NodeSpec::server(), 4);
+  auto client_node = cluster.addNode(hw::NodeSpec::client());
+  daos::DaosSystem system(cluster, servers);
+  Client client(system, client_node, /*client_id=*/1);
+
+  bool ok = false;
+  auto proc = sim.spawn(quickstart(client, ok));
+  sim.run();
+  if (proc.failed() || !ok) {
+    std::fprintf(stderr, "quickstart FAILED\n");
+    return 1;
+  }
+  std::printf("quickstart OK (simulated time: %.3f ms, %zu events)\n",
+              sim::toSeconds(sim.now()) * 1e3, sim.processedEvents());
+  return 0;
+}

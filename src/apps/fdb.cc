@@ -1,0 +1,175 @@
+#include "apps/fdb.h"
+
+#include <string>
+#include <vector>
+
+#include "daos/array.h"
+#include "daos/kv.h"
+#include "lustre/lustre.h"
+#include "rados/rados.h"
+
+namespace daosim::apps {
+
+namespace {
+
+vos::Payload fieldData(std::uint64_t size, int rank, std::uint64_t f) {
+  return vos::Payload::synthetic(
+      size, sim::hashCombine(static_cast<std::uint64_t>(rank), f));
+}
+
+std::string fdbKey(int rank, std::uint64_t f, int k) {
+  return "class=od,expver=1,r" + std::to_string(rank) + ",f" +
+         std::to_string(f) + ",k" + std::to_string(k);
+}
+
+}  // namespace
+
+sim::Task<void> FdbDaos::process(ProcContext ctx) {
+  daos::Client client(
+      tb_->daos(), ctx.node,
+      static_cast<std::uint32_t>(sim::hashCombine(
+          tb_->seed(), 0x30000u + static_cast<std::uint64_t>(ctx.rank))));
+  co_await client.poolConnect();
+  daos::Container cont = co_await client.contOpen("bench");
+
+  daos::KeyValue index(client, cont, client.nextOid(cfg_.kv_oclass));
+  std::vector<placement::ObjectId> field_oids;
+  field_oids.reserve(cfg_.fields);
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- archive ----------------------------------------------------------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    const placement::ObjectId oid = client.nextOid(cfg_.array_oclass);
+    field_oids.push_back(oid);
+    // FDB opens arrays with known attributes: no create/metadata RPC.
+    daos::Array array = daos::Array::openWithAttrs(
+        client, cont, oid, {.cell_size = 1, .chunk_size = cfg_.field_size});
+    if (cfg_.async_index) {
+      // Asynchronous libdaos: launch the index puts on an event queue so
+      // they overlap the bulk array write, then drain the queue.
+      daos::EventQueue eq(client.sim());
+      for (int k = 0; k < cfg_.index_puts_per_field; ++k) {
+        eq.launch(index.put(fdbKey(ctx.rank, f, k),
+                            vos::Payload::synthetic(cfg_.index_entry_bytes)));
+      }
+      co_await array.write(0, fieldData(cfg_.field_size, ctx.rank, f));
+      co_await eq.waitAll();
+    } else {
+      co_await array.write(0, fieldData(cfg_.field_size, ctx.rank, f));
+      for (int k = 0; k < cfg_.index_puts_per_field; ++k) {
+        co_await index.put(fdbKey(ctx.rank, f, k),
+                           vos::Payload::synthetic(cfg_.index_entry_bytes));
+      }
+    }
+    ctx.record(kWrite, cfg_.field_size, t0);
+  }
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- retrieve ---------------------------------------------------------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    for (int k = 0; k < cfg_.index_gets_per_field; ++k) {
+      (void)co_await index.get(fdbKey(ctx.rank, f, k));
+    }
+    // The index records field lengths: open with attrs, read, no size probe.
+    daos::Array array = daos::Array::openWithAttrs(
+        client, cont, field_oids[f],
+        {.cell_size = 1, .chunk_size = cfg_.field_size});
+    (void)co_await array.read(0, cfg_.field_size);
+    ctx.record(kRead, cfg_.field_size, t0);
+  }
+}
+
+sim::Task<void> FdbLustre::process(ProcContext ctx) {
+  lustre::LustreVfs vfs(tb_->lustre(), ctx.node, stripe_count_, stripe_size_);
+  const std::string data_path = "/fdb.data." + std::to_string(ctx.rank);
+  const std::string index_path = "/fdb.index." + std::to_string(ctx.rank);
+
+  posix::Fd data_fd =
+      co_await vfs.open(data_path, posix::OpenFlags::appendCreate());
+  posix::Fd index_fd =
+      co_await vfs.open(index_path, posix::OpenFlags::appendCreate());
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- archive: buffer fields client-side, flush in large blocks --------
+  std::uint64_t buffered = 0;
+  std::uint64_t index_buffered = 0;
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    buffered += cfg_.field_size;
+    index_buffered += cfg_.index_entry_bytes;
+    if (buffered >= cfg_.flush_block) {
+      co_await vfs.write(data_fd, vos::Payload::synthetic(buffered));
+      co_await vfs.write(index_fd, vos::Payload::synthetic(index_buffered));
+      buffered = 0;
+      index_buffered = 0;
+    }
+    ctx.record(kWrite, cfg_.field_size, t0);
+  }
+  if (buffered > 0) {
+    co_await vfs.write(data_fd, vos::Payload::synthetic(buffered));
+    co_await vfs.write(index_fd, vos::Payload::synthetic(index_buffered));
+  }
+  co_await vfs.fsync(data_fd);
+  co_await vfs.close(data_fd);
+  co_await vfs.close(index_fd);
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- retrieve: open/read/close the index and data files per field ------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    posix::Fd ifd = co_await vfs.open(index_path, posix::OpenFlags::readOnly());
+    (void)co_await vfs.pread(ifd, f * cfg_.index_entry_bytes,
+                             cfg_.index_entry_bytes);
+    co_await vfs.close(ifd);
+    posix::Fd dfd = co_await vfs.open(data_path, posix::OpenFlags::readOnly());
+    (void)co_await vfs.pread(dfd, f * cfg_.field_size, cfg_.field_size);
+    co_await vfs.close(dfd);
+    ctx.record(kRead, cfg_.field_size, t0);
+  }
+}
+
+sim::Task<void> FdbRados::process(ProcContext ctx) {
+  rados::RadosClient client(tb_->ceph(), ctx.node);
+  co_await client.connect();
+  const std::string prefix =
+      "fdb." + std::to_string(tb_->seed()) + ".r" + std::to_string(ctx.rank);
+  const std::string index_object = prefix + ".index";
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- archive: one object per field + small index-object update ---------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    co_await client.writeFull(prefix + ".f" + std::to_string(f),
+                              fieldData(cfg_.field_size, ctx.rank, f));
+    co_await client.write(
+        index_object,
+        (f * cfg_.index_entry_bytes) %
+            (tb_->ceph().config().max_object_bytes - cfg_.index_entry_bytes),
+        vos::Payload::synthetic(cfg_.index_entry_bytes));
+    ctx.record(kWrite, cfg_.field_size, t0);
+  }
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- retrieve: index lookup + object read per field ---------------------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    (void)co_await client.read(index_object,
+                               (f * cfg_.index_entry_bytes) %
+                                   (tb_->ceph().config().max_object_bytes -
+                                    cfg_.index_entry_bytes),
+                               cfg_.index_entry_bytes);
+    (void)co_await client.read(prefix + ".f" + std::to_string(f), 0,
+                               cfg_.field_size);
+    ctx.record(kRead, cfg_.field_size, t0);
+  }
+}
+
+}  // namespace daosim::apps

@@ -1,0 +1,78 @@
+// fdb-hammer: the benchmark for ECMWF's FDB domain-specific object store
+// (§II-A4), on its three storage backends.
+//
+//  * DAOS backend: one S1 Array + S1 Key-Value index entries per field —
+//    like Field I/O, but with the optimizations FDB carries: arrays are
+//    opened with known attributes (no per-open metadata fetch) and reads
+//    skip the size probe (lengths come from the index).
+//  * POSIX backend: each writer appends to a pair of files (index + data),
+//    buffering small field writes client-side and flushing in large blocks
+//    — the write-optimized pattern. Readers open and read the index and
+//    data files for *every* field, the metadata-heavy pattern that
+//    saturates Lustre's MDS (Fig. 7).
+//  * Ceph backend: one RADOS object per field plus a per-writer index
+//    object updated with small writes (Fig. 8).
+#pragma once
+
+#include <cstdint>
+
+#include "apps/runner.h"
+#include "apps/testbed.h"
+#include "placement/objclass.h"
+
+namespace daosim::apps {
+
+struct FdbConfig {
+  std::uint64_t field_size = 1 << 20;
+  std::uint64_t fields = 1000;  // per process
+  placement::ObjClass array_oclass = placement::ObjClass::S1;
+  placement::ObjClass kv_oclass = placement::ObjClass::S1;
+  int index_puts_per_field = 7;
+  int index_gets_per_field = 3;
+  /// DAOS backend: issue the index puts asynchronously through a DAOS
+  /// event queue, overlapping them with the field's array write (FDB uses
+  /// the asynchronous libdaos API this way).
+  bool async_index = false;
+  /// POSIX backend: client-side buffer flushed in blocks of this size.
+  std::uint64_t flush_block = 32 << 20;
+  std::uint64_t index_entry_bytes = 256;
+};
+
+class FdbDaos final : public SpmdBenchmark {
+ public:
+  FdbDaos(DaosTestbed& tb, FdbConfig cfg) : tb_(&tb), cfg_(cfg) {}
+  sim::Task<void> process(ProcContext ctx) override;
+
+ private:
+  DaosTestbed* tb_;
+  FdbConfig cfg_;
+};
+
+class FdbLustre final : public SpmdBenchmark {
+ public:
+  FdbLustre(LustreTestbed& tb, FdbConfig cfg, int stripe_count = 8,
+            std::uint64_t stripe_size = 8 << 20)
+      : tb_(&tb),
+        cfg_(cfg),
+        stripe_count_(stripe_count),
+        stripe_size_(stripe_size) {}
+  sim::Task<void> process(ProcContext ctx) override;
+
+ private:
+  LustreTestbed* tb_;
+  FdbConfig cfg_;
+  int stripe_count_;
+  std::uint64_t stripe_size_;
+};
+
+class FdbRados final : public SpmdBenchmark {
+ public:
+  FdbRados(CephTestbed& tb, FdbConfig cfg) : tb_(&tb), cfg_(cfg) {}
+  sim::Task<void> process(ProcContext ctx) override;
+
+ private:
+  CephTestbed* tb_;
+  FdbConfig cfg_;
+};
+
+}  // namespace daosim::apps

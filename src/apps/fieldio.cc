@@ -1,0 +1,90 @@
+#include "apps/fieldio.h"
+
+#include <string>
+#include <vector>
+
+#include "daos/array.h"
+#include "daos/kv.h"
+
+namespace daosim::apps {
+
+namespace {
+
+/// Shared index object: same OID for every process (keys spread over all
+/// targets through the object's SX layout).
+placement::ObjectId sharedIndexOid(placement::ObjClass oc) {
+  return placement::makeOid(oc, 0xF1E7D, 0xfffffff0u);
+}
+
+std::string indexValue() { return "step=12;param=t;level=500;grid=o1280"; }
+
+}  // namespace
+
+sim::Task<void> FieldIo::process(ProcContext ctx) {
+  daos::Client client(
+      tb_->daos(), ctx.node,
+      static_cast<std::uint32_t>(sim::hashCombine(
+          tb_->seed(), 0x20000u + static_cast<std::uint64_t>(ctx.rank))));
+  co_await client.poolConnect();
+  daos::Container cont = co_await client.contOpen("bench");
+
+  daos::KeyValue own_index(client, cont, client.nextOid(cfg_.kv_oclass));
+  daos::KeyValue shared_index(client, cont,
+                              sharedIndexOid(cfg_.kv_oclass));
+
+  // The field OIDs this process wrote, for the read phase.
+  std::vector<placement::ObjectId> field_oids;
+  field_oids.reserve(cfg_.fields);
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- write phase ------------------------------------------------------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    const placement::ObjectId oid = client.nextOid(cfg_.array_oclass);
+    field_oids.push_back(oid);
+    // Field I/O creates the array (registering attributes) per field.
+    daos::Array array = co_await daos::Array::create(
+        client, cont, oid, {.cell_size = 1, .chunk_size = cfg_.field_size});
+    co_await array.write(
+        0, vos::Payload::synthetic(
+               cfg_.field_size,
+               sim::hashCombine(static_cast<std::uint64_t>(ctx.rank), f)));
+    // Index entries: process-exclusive and shared.
+    const std::string key = "r" + std::to_string(ctx.rank) + ".f" +
+                            std::to_string(f);
+    for (int k = 0; k < cfg_.index_puts_exclusive; ++k) {
+      co_await own_index.put(key + ".k" + std::to_string(k),
+                             vos::Payload::fromString(indexValue()));
+    }
+    for (int k = 0; k < cfg_.index_puts_shared; ++k) {
+      co_await shared_index.put(key + ".s" + std::to_string(k),
+                                vos::Payload::fromString(indexValue()));
+    }
+    ctx.record(kWrite, cfg_.field_size, t0);
+  }
+
+  co_await ctx.barrier->arriveAndWait();
+
+  // --- read phase ---------------------------------------------------------
+  for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
+    const sim::Time t0 = ctx.sim->now();
+    const std::string key = "r" + std::to_string(ctx.rank) + ".f" +
+                            std::to_string(f);
+    for (int k = 0; k < cfg_.index_gets_exclusive; ++k) {
+      (void)co_await own_index.get(key + ".k" + std::to_string(k));
+    }
+    for (int k = 0; k < cfg_.index_gets_shared; ++k) {
+      (void)co_await shared_index.get(key + ".s" + std::to_string(k));
+    }
+    daos::Array array = co_await daos::Array::open(client, cont,
+                                                   field_oids[f]);
+    // Size probe before every read: Field I/O does not implement the
+    // size-check-avoidance optimization fdb-hammer has.
+    const std::uint64_t size = co_await array.getSize();
+    (void)co_await array.read(0, size);
+    ctx.record(kRead, size, t0);
+  }
+}
+
+}  // namespace daosim::apps

@@ -1,0 +1,84 @@
+#include "apps/sweep.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+
+namespace daosim::apps {
+
+std::vector<SweepPoint> clientNodeGrid(int max_clients, int procs_per_node) {
+  std::vector<SweepPoint> grid;
+  for (int c = 1; c <= max_clients; c *= 2) {
+    grid.push_back(SweepPoint{c, procs_per_node});
+  }
+  if (!grid.empty() && grid.back().client_nodes != max_clients) {
+    grid.push_back(SweepPoint{max_clients, procs_per_node});
+  }
+  return grid;
+}
+
+std::vector<SweepPoint> crossGrid(std::vector<int> client_nodes,
+                                  std::vector<int> procs_per_node) {
+  std::vector<SweepPoint> grid;
+  for (int c : client_nodes) {
+    for (int n : procs_per_node) grid.push_back(SweepPoint{c, n});
+  }
+  return grid;
+}
+
+std::uint64_t scaledOps(int total_procs, std::uint64_t base_ops,
+                        std::uint64_t total_target) {
+  if (total_procs <= 0) return base_ops;
+  const std::uint64_t per_proc =
+      total_target / static_cast<std::uint64_t>(total_procs);
+  return std::clamp<std::uint64_t>(per_proc, 50, base_ops);
+}
+
+namespace {
+std::uint64_t envU64(const char* name, std::uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return std::strtoull(v, nullptr, 10);
+}
+}  // namespace
+
+std::uint64_t envOps(std::uint64_t def) { return envU64("DAOSIM_OPS", def); }
+
+int envReps(int def) {
+  return static_cast<int>(envU64("DAOSIM_REPS",
+                                 static_cast<std::uint64_t>(def)));
+}
+
+bool envFullGrid() { return envU64("DAOSIM_FULL_GRID", 0) != 0; }
+
+void printSeries(std::ostream& os, const Series& series, bool show_iops) {
+  os << "== " << series.name << " ==\n";
+  os << std::setw(8) << series.col1 << std::setw(7) << "ppn" << std::setw(7)
+     << "procs";
+  if (show_iops) {
+    os << std::setw(14) << "write kIOPS" << std::setw(9) << "+/-"
+       << std::setw(14) << "read kIOPS" << std::setw(9) << "+/-";
+  } else {
+    os << std::setw(14) << "write GiB/s" << std::setw(9) << "+/-"
+       << std::setw(14) << "read GiB/s" << std::setw(9) << "+/-";
+  }
+  os << "\n";
+  for (const auto& m : series.points) {
+    os << std::setw(8) << m.point.client_nodes << std::setw(7)
+       << m.point.procs_per_node << std::setw(7) << m.point.totalProcs();
+    os << std::fixed << std::setprecision(2);
+    if (show_iops) {
+      os << std::setw(14) << m.write_kiops.mean() << std::setw(9)
+         << m.write_kiops.stddev() << std::setw(14) << m.read_kiops.mean()
+         << std::setw(9) << m.read_kiops.stddev();
+    } else {
+      os << std::setw(14) << m.write_gibps.mean() << std::setw(9)
+         << m.write_gibps.stddev() << std::setw(14) << m.read_gibps.mean()
+         << std::setw(9) << m.read_gibps.stddev();
+    }
+    os << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+}  // namespace daosim::apps

@@ -1,0 +1,70 @@
+// Sweep utilities shared by the per-figure benchmark binaries: the paper's
+// client-node/process-count grids, op-count scaling, repetition statistics
+// (mean ± stddev over 3 runs, as in §II), and table printing.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "apps/runner.h"
+#include "sim/stats.h"
+
+namespace daosim::apps {
+
+struct SweepPoint {
+  int client_nodes = 1;
+  int procs_per_node = 1;
+  int totalProcs() const noexcept { return client_nodes * procs_per_node; }
+};
+
+/// Aggregated repetitions of one sweep point.
+struct Measurement {
+  SweepPoint point;
+  sim::Welford write_gibps;
+  sim::Welford read_gibps;
+  sim::Welford write_kiops;
+  sim::Welford read_kiops;
+
+  void add(const RunResult& r) {
+    write_gibps.add(r.write().gibps());
+    read_gibps.add(r.read().gibps());
+    write_kiops.add(r.write().iops() / 1e3);
+    read_kiops.add(r.read().iops() / 1e3);
+  }
+};
+
+struct Series {
+  std::string name;
+  std::vector<Measurement> points;
+  /// Label of the first column (default "clients"; the server-scaling
+  /// figure reuses it as "servers").
+  std::string col1 = "clients";
+};
+
+/// The paper's client-count optimisation grid: client node counts doubling
+/// up to `max_clients`, with `procs_per_node` processes each (the per-node
+/// process counts the paper found optimal are applied by the callers).
+std::vector<SweepPoint> clientNodeGrid(int max_clients, int procs_per_node);
+
+/// A (nodes x procs) cross grid, for full optimisation sweeps.
+std::vector<SweepPoint> crossGrid(std::vector<int> client_nodes,
+                                  std::vector<int> procs_per_node);
+
+/// Scales per-process op counts so the total per run stays near
+/// `total_target` (keeps big sweeps fast without flattening small ones).
+std::uint64_t scaledOps(int total_procs, std::uint64_t base_ops,
+                        std::uint64_t total_target = 40000);
+
+/// Environment overrides: DAOSIM_OPS (per-process op base),
+/// DAOSIM_REPS (repetitions), DAOSIM_FULL_GRID (1 = larger grids).
+std::uint64_t envOps(std::uint64_t def = 1000);
+int envReps(int def = 3);
+bool envFullGrid();
+
+/// Paper-style table: one row per point with write/read mean ± stddev.
+void printSeries(std::ostream& os, const Series& series,
+                 bool show_iops = false);
+
+}  // namespace daosim::apps

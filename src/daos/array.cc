@@ -1,0 +1,516 @@
+#include "daos/array.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/device.h"
+#include "sim/sync.h"
+#include "vos/target_store.h"
+
+namespace daosim::daos {
+
+namespace {
+
+constexpr const char* kMetaDkey = "__array_meta__";
+
+std::string encodeAttrs(const Array::Attrs& a) {
+  std::string s(16, '\0');
+  std::memcpy(s.data(), &a.cell_size, 8);
+  std::memcpy(s.data() + 8, &a.chunk_size, 8);
+  return s;
+}
+
+Array::Attrs decodeAttrs(const vos::Payload& p) {
+  Array::Attrs a;
+  if (p.hasBytes() && p.size() >= 16) {
+    auto b = p.bytes();
+    std::memcpy(&a.cell_size, b.data(), 8);
+    std::memcpy(&a.chunk_size, b.data() + 8, 8);
+  }
+  return a;
+}
+
+using vos::xorPayloads;
+
+struct Piece {
+  std::uint64_t rel = 0;  // offset of the piece within the op
+  vos::Payload data;
+};
+
+/// Concatenates pieces (already length-exact and ordered by rel) into one
+/// payload; synthetic if any piece lacks bytes.
+vos::Payload assemble(std::vector<Piece> pieces, std::uint64_t total) {
+  if (pieces.size() == 1 && pieces.front().data.size() == total) {
+    return std::move(pieces.front().data);
+  }
+  bool all_real = true;
+  for (const auto& p : pieces) {
+    if (!p.data.hasBytes()) all_real = false;
+  }
+  if (!all_real) return vos::Payload::synthetic(total);
+  std::vector<std::byte> out(total);
+  for (const auto& p : pieces) {
+    auto b = p.data.bytes();
+    std::memcpy(out.data() + p.rel, b.data(), b.size());
+  }
+  return vos::Payload::fromBytes(std::move(out));
+}
+
+// ---- per-shard RPC operations (inline request/work/response legs) --------
+
+/// One extent-write RPC to a pool-global target.
+sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
+                              int target, std::string dkey, std::string akey,
+                              std::uint64_t offset, vos::Payload data) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest + data.size());
+  co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
+                               std::move(data));
+  co_await net::respond(cluster, engine->node(), client->node(), 0);
+}
+
+/// One extent-read RPC to a pool-global target.
+sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
+                                ObjectId oid, int target, std::string dkey,
+                                std::string akey, std::uint64_t offset,
+                                std::uint64_t length) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest);
+  vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
+                                               offset, length);
+  co_await net::respond(cluster, engine->node(), client->node(), p.size());
+  co_return p;
+}
+
+/// Trim one shard of the array (used by setSize).
+sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
+                                ObjectId oid, int target,
+                                std::uint64_t chunk_size,
+                                std::uint64_t new_size) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest);
+  co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size);
+  co_await net::respond(cluster, engine->node(), client->node(), 0);
+}
+
+sim::Task<void> fetchInto(Client* client, vos::ContId cont, ObjectId oid,
+                          int target, std::string dkey, std::string akey,
+                          std::uint64_t off, std::uint64_t len,
+                          vos::Payload* out) {
+  *out = co_await fetchOp(client, cont, oid, target, std::move(dkey),
+                          std::move(akey), off, len);
+}
+
+}  // namespace
+
+Array::Array(Client& client, Container cont, ObjectId oid, Attrs attrs)
+    : client_(&client),
+      cont_(std::move(cont)),
+      oid_(oid),
+      attrs_(attrs),
+      layout_(client.system().layout(oid)) {
+  if (attrs_.chunk_size == 0) {
+    throw std::invalid_argument("Array: chunk_size must be positive");
+  }
+  if (layout_.spec.erasureCoded() &&
+      attrs_.chunk_size % static_cast<std::uint64_t>(layout_.spec.ec_data) !=
+          0) {
+    throw std::invalid_argument(
+        "Array: chunk_size must be divisible by the EC data-cell count");
+  }
+}
+
+namespace {
+
+/// Writes the array-attribute record to one group-0 member.
+sim::Task<void> metaPutOp(Client* client, vos::ContId cont, ObjectId oid,
+                          int target, vos::Payload meta) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest + meta.size());
+  co_await engine->valuePut(local, cont, oid, kMetaDkey, "0",
+                            std::move(meta));
+  co_await net::respond(cluster, engine->node(), client->node(), 0);
+}
+
+}  // namespace
+
+sim::Task<Array> Array::create(Client& client, Container cont, ObjectId oid,
+                               Attrs attrs) {
+  Array a(client, cont, oid, attrs);
+  // Register attrs in object metadata. Single-value records of protected
+  // objects are replicated across the whole redundancy group (as in DAOS,
+  // where akey singles are never erasure-coded), so metadata survives any
+  // failure the data survives.
+  vos::Payload meta = vos::Payload::fromString(encodeAttrs(attrs));
+  std::vector<sim::Task<void>> ops;
+  for (int m = 0; m < a.layout_.group_size; ++m) {
+    ops.push_back(metaPutOp(&client, cont.id, oid, a.layout_.target(0, m),
+                            meta));
+  }
+  if (ops.size() == 1) {
+    co_await std::move(ops.front());
+  } else {
+    co_await sim::whenAll(client.sim(), std::move(ops));
+  }
+  co_return a;
+}
+
+sim::Task<Array> Array::open(Client& client, Container cont, ObjectId oid) {
+  placement::Layout layout = client.system().layout(oid);
+  hw::Cluster& cluster = client.system().cluster();
+  // Try the group-0 members in order (metadata is replicated across them).
+  for (int m = 0; m < layout.group_size; ++m) {
+    auto [engine, local] =
+        client.system().locateTarget(layout.target(0, m));
+    try {
+      co_await net::request(cluster, client.node(), engine->node(),
+                            net::kSmallRequest);
+      Engine::GetResult r =
+          co_await engine->valueGet(local, cont.id, oid, kMetaDkey, "0");
+      co_await net::respond(cluster, engine->node(), client.node(),
+                            r.value.size());
+      if (r.found) {
+        co_return Array(client, std::move(cont), oid, decodeAttrs(r.value));
+      }
+    } catch (const hw::DeviceFailed&) {
+      if (m + 1 == layout.group_size) throw;
+    }
+  }
+  throw std::runtime_error("Array::open: no such array");
+}
+
+Array Array::openWithAttrs(Client& client, Container cont, ObjectId oid,
+                           Attrs attrs) {
+  return Array(client, std::move(cont), oid, attrs);
+}
+
+// --- write path -----------------------------------------------------------
+
+sim::Task<void> Array::writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
+                                  vos::Payload piece) {
+  const std::string dkey = vos::u64Dkey(chunk);
+  const int group = placement::dkeyGroup(layout_, dkey);
+  const auto& spec = layout_.spec;
+  std::vector<sim::Task<void>> ops;
+
+  if (spec.erasureCoded()) {
+    const std::uint64_t cell = ecCellLen();
+    const int k = spec.ec_data;
+    const bool full_stripe =
+        in_chunk == 0 && piece.size() == attrs_.chunk_size;
+    std::vector<vos::Payload> stripe_cells;
+    for (int j = 0; j < k; ++j) {
+      const std::uint64_t cs = static_cast<std::uint64_t>(j) * cell;
+      const std::uint64_t ce = cs + cell;
+      const std::uint64_t lo = std::max(in_chunk, cs);
+      const std::uint64_t hi = std::min(in_chunk + piece.size(), ce);
+      if (lo >= hi) continue;
+      vos::Payload sub = piece.slice(lo - in_chunk, hi - lo);
+      if (full_stripe) stripe_cells.push_back(sub);
+      ops.push_back(extentWriteOp(client_, cont_.id, oid_,
+                                  layout_.target(group, j), dkey, "0", lo,
+                                  std::move(sub)));
+    }
+    for (int pj = 0; pj < spec.ec_parity; ++pj) {
+      vos::Payload parity;
+      if (full_stripe) {
+        // First parity cell is a true XOR so single-failure degraded reads
+        // reconstruct real data; further parity cells model the I/O volume.
+        parity = pj == 0 ? xorPayloads(stripe_cells, cell)
+                         : vos::Payload::synthetic(cell);
+      } else {
+        // Partial-stripe update: parity is read-modified server side; we
+        // model the written volume and mark the parity non-reconstructible.
+        parity = vos::Payload::synthetic(
+            std::min<std::uint64_t>(piece.size(), cell));
+      }
+      ops.push_back(extentWriteOp(client_, cont_.id, oid_,
+                                  layout_.target(group, k + pj), dkey, "p",
+                                  0, std::move(parity)));
+    }
+  } else {
+    for (int r = 0; r < spec.replicas; ++r) {
+      ops.push_back(extentWriteOp(client_, cont_.id, oid_,
+                                  layout_.target(group, r), dkey, "0",
+                                  in_chunk, piece));
+    }
+  }
+
+  if (ops.size() == 1) {
+    co_await std::move(ops.front());
+  } else {
+    co_await sim::whenAll(client_->sim(), std::move(ops));
+  }
+}
+
+sim::Task<void> Array::write(std::uint64_t offset, vos::Payload data) {
+  std::vector<sim::Task<void>> pieces;
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / attrs_.chunk_size;
+    const std::uint64_t in_chunk = abs % attrs_.chunk_size;
+    const std::uint64_t len =
+        std::min(data.size() - pos, attrs_.chunk_size - in_chunk);
+    pieces.push_back(writePiece(chunk, in_chunk, data.slice(pos, len)));
+    pos += len;
+  }
+  if (pieces.empty()) co_return;
+  if (pieces.size() == 1) {
+    co_await std::move(pieces.front());
+  } else {
+    co_await sim::whenAll(client_->sim(), std::move(pieces));
+  }
+}
+
+// --- read path ------------------------------------------------------------
+
+sim::Task<vos::Payload> Array::readCellDegraded(std::uint64_t chunk,
+                                                int group, int failed_cell) {
+  const auto& spec = layout_.spec;
+  if (spec.ec_parity < 1) {
+    throw hw::DeviceFailed("array shard lost and no parity available");
+  }
+  const std::uint64_t cell = ecCellLen();
+  const int k = spec.ec_data;
+  const std::string dkey = vos::u64Dkey(chunk);
+
+  // Gather every surviving data cell plus the XOR parity, in parallel.
+  std::vector<vos::Payload> gathered(static_cast<std::size_t>(k));
+  std::vector<sim::Task<void>> ops;
+  for (int j = 0; j < k; ++j) {
+    if (j == failed_cell) continue;
+    ops.push_back(fetchInto(client_, cont_.id, oid_,
+                            layout_.target(group, j), dkey, "0",
+                            static_cast<std::uint64_t>(j) * cell, cell,
+                            &gathered[static_cast<std::size_t>(j)]));
+  }
+  vos::Payload parity;
+  ops.push_back(fetchInto(client_, cont_.id, oid_, layout_.target(group, k),
+                          dkey, "p", 0, cell, &parity));
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+
+  // Client-side XOR reconstruction.
+  co_await client_->sim().delay(
+      client_->system().config().engine.ec_reconstruct_cpu);
+  std::vector<vos::Payload> xs;
+  for (int j = 0; j < k; ++j) {
+    if (j != failed_cell) xs.push_back(gathered[static_cast<std::size_t>(j)]);
+  }
+  xs.push_back(std::move(parity));
+  co_return xorPayloads(xs, cell);
+}
+
+namespace {
+
+struct Seg {
+  int cell_idx;
+  std::uint64_t lo;  // in-chunk
+  std::uint64_t hi;
+};
+
+}  // namespace
+
+sim::Task<void> Array::readSegInto(std::uint64_t chunk, int group,
+                                   int cell_idx, std::uint64_t lo,
+                                   std::uint64_t hi, std::uint64_t in_chunk,
+                                   void* out_piece) {
+  auto* out = static_cast<Piece*>(out_piece);
+  out->rel = lo - in_chunk;
+  const std::string dkey = vos::u64Dkey(chunk);
+  bool degraded = false;
+  try {
+    out->data = co_await fetchOp(client_, cont_.id, oid_,
+                                 layout_.target(group, cell_idx), dkey, "0",
+                                 lo, hi - lo);
+  } catch (const hw::DeviceFailed&) {
+    degraded = true;  // co_await is not allowed inside a handler
+  }
+  if (degraded) {
+    vos::Payload full = co_await readCellDegraded(chunk, group, cell_idx);
+    const std::uint64_t cell = ecCellLen();
+    out->data =
+        full.slice(lo - static_cast<std::uint64_t>(cell_idx) * cell, hi - lo);
+  }
+}
+
+sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
+                                         std::uint64_t in_chunk,
+                                         std::uint64_t length) {
+  const std::string dkey = vos::u64Dkey(chunk);
+  const int group = placement::dkeyGroup(layout_, dkey);
+  const auto& spec = layout_.spec;
+
+  if (!spec.erasureCoded()) {
+    // Plain or replicated: read from the first healthy replica.
+    for (int r = 0; r < spec.replicas; ++r) {
+      try {
+        co_return co_await fetchOp(client_, cont_.id, oid_,
+                                   layout_.target(group, r), dkey, "0",
+                                   in_chunk, length);
+      } catch (const hw::DeviceFailed&) {
+        if (r + 1 == spec.replicas) throw;
+      }
+    }
+  }
+
+  // Erasure coded: read the overlapped data cells in parallel; a failed
+  // cell is reconstructed from the survivors + parity.
+  const std::uint64_t cell = ecCellLen();
+  const int k = spec.ec_data;
+  std::vector<Seg> segs;
+  for (int j = 0; j < k; ++j) {
+    const std::uint64_t cs = static_cast<std::uint64_t>(j) * cell;
+    const std::uint64_t ce = cs + cell;
+    const std::uint64_t lo = std::max(in_chunk, cs);
+    const std::uint64_t hi = std::min(in_chunk + length, ce);
+    if (lo < hi) segs.push_back({j, lo, hi});
+  }
+
+  std::vector<Piece> pieces(segs.size());
+  std::vector<sim::Task<void>> ops;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    ops.push_back(readSegInto(chunk, group, segs[i].cell_idx, segs[i].lo,
+                              segs[i].hi, in_chunk, &pieces[i]));
+  }
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+  co_return assemble(std::move(pieces), length);
+}
+
+sim::Task<void> Array::readPieceInto(std::uint64_t chunk,
+                                     std::uint64_t in_chunk,
+                                     std::uint64_t length, std::uint64_t rel,
+                                     void* out_piece) {
+  auto* out = static_cast<Piece*>(out_piece);
+  out->rel = rel;
+  out->data = co_await readPiece(chunk, in_chunk, length);
+}
+
+sim::Task<vos::Payload> Array::read(std::uint64_t offset,
+                                    std::uint64_t length) {
+  struct Sub {
+    std::uint64_t chunk, in_chunk, len, rel;
+  };
+  std::vector<Sub> subs;
+  std::uint64_t pos = 0;
+  while (pos < length) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / attrs_.chunk_size;
+    const std::uint64_t in_chunk = abs % attrs_.chunk_size;
+    const std::uint64_t len =
+        std::min(length - pos, attrs_.chunk_size - in_chunk);
+    subs.push_back({chunk, in_chunk, len, pos});
+    pos += len;
+  }
+  if (subs.empty()) co_return vos::Payload{};
+  if (subs.size() == 1) {
+    co_return co_await readPiece(subs[0].chunk, subs[0].in_chunk, subs[0].len);
+  }
+  std::vector<Piece> pieces(subs.size());
+  std::vector<sim::Task<void>> ops;
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    ops.push_back(readPieceInto(subs[i].chunk, subs[i].in_chunk, subs[i].len,
+                                subs[i].rel, &pieces[i]));
+  }
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+  co_return assemble(std::move(pieces), length);
+}
+
+// --- size -------------------------------------------------------------
+
+sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out) {
+  auto [engine, local] = client_->system().locateTarget(target);
+  hw::Cluster& cluster = client_->system().cluster();
+  co_await net::request(cluster, client_->node(), engine->node(),
+                        net::kSmallRequest);
+  *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
+                                        attrs_.chunk_size);
+  co_await net::respond(cluster, engine->node(), client_->node(), 16);
+}
+
+sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
+                                               std::uint64_t* out) {
+  for (std::size_t r = 0; r < replicas.size(); ++r) {
+    try {
+      co_await probeShardEnd(replicas[r], out);
+      co_return;
+    } catch (const hw::DeviceFailed&) {
+      if (r + 1 == replicas.size()) throw;
+    }
+  }
+}
+
+sim::Task<std::uint64_t> Array::getSize() {
+  const auto& spec = layout_.spec;
+  const int probes_per_group = spec.erasureCoded() ? spec.ec_data : 1;
+  std::vector<std::uint64_t> ends(
+      static_cast<std::size_t>(layout_.groups * probes_per_group), 0);
+  std::vector<sim::Task<void>> ops;
+  std::size_t slot = 0;
+  for (int g = 0; g < layout_.groups; ++g) {
+    if (spec.replicated()) {
+      ops.push_back(probeShardEndReplicated(layout_.groupTargets(g),
+                                            &ends[slot++]));
+    } else if (spec.erasureCoded()) {
+      for (int j = 0; j < spec.ec_data; ++j) {
+        ops.push_back(probeShardEnd(layout_.target(g, j), &ends[slot++]));
+      }
+    } else {
+      ops.push_back(probeShardEnd(layout_.target(g, 0), &ends[slot++]));
+    }
+  }
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+  std::uint64_t size = 0;
+  for (std::uint64_t e : ends) size = std::max(size, e);
+  co_return size;
+}
+
+sim::Task<void> Array::setSize(std::uint64_t size) {
+  const vos::ContId cont = cont_.id;
+  const ObjectId oid = oid_;
+  const std::uint64_t chunk_size = attrs_.chunk_size;
+
+  // Trim every shard, in parallel.
+  std::vector<sim::Task<void>> ops;
+  for (int target : layout_.targets) {
+    ops.push_back(truncateShardOp(client_, cont, oid, target, chunk_size,
+                                  size));
+  }
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+  if (size == 0) co_return;
+
+  // Record the explicit end on the final chunk's owning target so getSize
+  // sees extensions past the last written extent.
+  const std::uint64_t final_chunk = (size - 1) / chunk_size;
+  const std::uint64_t in_chunk_end = size - final_chunk * chunk_size;
+  const std::string dkey = vos::u64Dkey(final_chunk);
+  const int group = placement::dkeyGroup(layout_, dkey);
+  int member = 0;
+  if (layout_.spec.erasureCoded()) {
+    member = static_cast<int>((in_chunk_end - 1) / ecCellLen());
+  }
+  const int target = layout_.target(group, member);
+  auto [engine, local] = client_->system().locateTarget(target);
+  hw::Cluster& cluster = client_->system().cluster();
+  co_await net::request(cluster, client_->node(), engine->node(),
+                        net::kSmallRequest);
+  {
+    Target& t = engine->target(local);
+    co_await t.xstream().exec(engine->config().engine.rpc_cpu);
+    co_await t.device().write(engine->config().engine.wal_bytes);
+    t.store().extentTruncate(cont, oid, dkey, "0", in_chunk_end);
+  }
+  co_await net::respond(cluster, engine->node(), client_->node(), 0);
+}
+
+}  // namespace daosim::daos

@@ -1,0 +1,136 @@
+// libdaos-equivalent client library.
+//
+// One Client per application process. It talks to the pool service for
+// pool/container metadata and directly to engines/targets for object I/O
+// (placement is computed client-side from the OID, as in DAOS). OIDs carry
+// 96 user-managed bits: clients stamp their client id into the user-hi bits
+// so locally generated OIDs never collide across processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "daos/system.h"
+#include "net/rpc.h"
+#include "placement/layout.h"
+#include "placement/oid.h"
+#include "sim/task.h"
+#include "vos/payload.h"
+
+namespace daosim::daos {
+
+using placement::ObjClass;
+using placement::ObjectId;
+
+/// An open container handle.
+struct Container {
+  vos::ContId id = 0;
+  std::string name;
+  bool valid() const noexcept { return id != 0; }
+};
+
+class Client {
+ public:
+  Client(DaosSystem& system, hw::NodeId node, std::uint32_t client_id)
+      : system_(&system), node_(node), client_id_(client_id) {}
+
+  DaosSystem& system() noexcept { return *system_; }
+  hw::NodeId node() const noexcept { return node_; }
+  std::uint32_t clientId() const noexcept { return client_id_; }
+  sim::Simulation& sim() noexcept { return system_->cluster().sim(); }
+
+  /// daos_pool_connect.
+  sim::Task<void> poolConnect();
+
+  /// daos_pool_query: capacity and usage across all targets.
+  struct PoolInfo {
+    std::uint64_t total_bytes = 0;
+    std::uint64_t used_bytes = 0;
+    int targets = 0;
+    int engines = 0;
+  };
+  sim::Task<PoolInfo> poolQuery();
+
+  /// daos_cont_create + open; throws std::runtime_error if the name exists.
+  sim::Task<Container> contCreate(std::string name);
+  /// daos_cont_open; throws if missing.
+  sim::Task<Container> contOpen(std::string name);
+  sim::Task<void> contDestroy(std::string name);
+
+  /// Client-managed OID generation (no RPC): the fast path libdaos
+  /// applications use.
+  ObjectId nextOid(ObjClass oc) noexcept {
+    return placement::makeOid(oc, next_oid_lo_++, client_id_);
+  }
+
+  /// Server-managed OID allocation through the container/pool service
+  /// (daos_cont_alloc_oids): one serialized leader commit per call. Returns
+  /// the first OID of the range.
+  sim::Task<ObjectId> allocOids(const Container& cont, std::uint64_t count,
+                                ObjClass oc);
+
+  /// daos_obj_punch across all layout targets.
+  sim::Task<void> objPunch(const Container& cont, const ObjectId& oid);
+
+  // ---- low-level building blocks shared by Array/KeyValue/dfs ----
+
+  // COROUTINE DISCIPLINE: GCC 12 miscompiles closure types passed by value
+  // as coroutine parameters (see net/rpc.h). RPCs are therefore written
+  // inline as request leg -> engine work -> response leg; every coroutine
+  // takes only plain data parameters.
+
+  /// Request leg of an RPC to a pool-global target; returns the engine and
+  /// local target index for the inline server work.
+  sim::Task<void> requestToTarget(int global_target,
+                                  std::uint64_t request_bytes) {
+    auto [engine, local] = system_->locateTarget(global_target);
+    (void)local;
+    co_await net::request(system_->cluster(), node_, engine->node(),
+                          request_bytes);
+  }
+
+  /// Response leg from a pool-global target back to this client.
+  sim::Task<void> respondFromTarget(int global_target,
+                                    std::uint64_t response_bytes) {
+    auto [engine, local] = system_->locateTarget(global_target);
+    (void)local;
+    co_await net::respond(system_->cluster(), engine->node(), node_,
+                          response_bytes);
+  }
+
+ private:
+  DaosSystem* system_;
+  hw::NodeId node_;
+  std::uint32_t client_id_;
+  std::uint64_t next_oid_lo_ = 1;
+};
+
+/// Tracks asynchronously launched operations (daos event queue analogue).
+class EventQueue {
+ public:
+  explicit EventQueue(sim::Simulation& sim) : sim_(&sim) {}
+
+  void launch(sim::Task<void> op) { inflight_.push_back(sim_->spawn(std::move(op))); }
+
+  std::size_t inFlight() const noexcept { return inflight_.size(); }
+
+  /// Waits for all launched operations; rethrows the first failure.
+  sim::Task<void> waitAll() {
+    std::exception_ptr first;
+    for (auto& h : inflight_) {
+      try {
+        co_await h.join();
+      } catch (...) {
+        if (!first) first = std::current_exception();
+      }
+    }
+    inflight_.clear();
+    if (first) std::rethrow_exception(first);
+  }
+
+ private:
+  sim::Simulation* sim_;
+  std::vector<sim::ProcHandle> inflight_;
+};
+
+}  // namespace daosim::daos

@@ -1,0 +1,133 @@
+#include "daos/kv.h"
+
+#include <algorithm>
+#include <set>
+
+#include "hw/device.h"
+#include "sim/sync.h"
+
+namespace daosim::daos {
+
+namespace {
+
+constexpr const char* kValueAkey = "v";
+
+/// Store the value on one replica target.
+sim::Task<void> putReplicaOp(Client* client, vos::ContId cont, ObjectId oid,
+                             int target, std::string key,
+                             vos::Payload value) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest + key.size() + value.size());
+  co_await engine->valuePut(local, cont, oid, std::move(key), kValueAkey,
+                            std::move(value));
+  co_await net::respond(cluster, engine->node(), client->node(), 0);
+}
+
+/// Remove the key from one replica target.
+sim::Task<void> removeReplicaOp(Client* client, vos::ContId cont,
+                                ObjectId oid, int target, std::string key) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest + key.size());
+  co_await engine->valueRemove(local, cont, oid, std::move(key), kValueAkey);
+  co_await net::respond(cluster, engine->node(), client->node(), 0);
+}
+
+/// Enumerate one group's keys into *out.
+sim::Task<void> listGroupOp(Client* client, vos::ContId cont, ObjectId oid,
+                            int target, std::vector<std::string>* out) {
+  auto [engine, local] = client->system().locateTarget(target);
+  hw::Cluster& cluster = client->system().cluster();
+  co_await net::request(cluster, client->node(), engine->node(),
+                        net::kSmallRequest);
+  *out = co_await engine->listDkeys(local, cont, oid);
+  std::uint64_t bytes = 0;
+  for (const auto& k : *out) bytes += k.size() + 16;
+  co_await net::respond(cluster, engine->node(), client->node(), bytes);
+}
+
+}  // namespace
+
+sim::Task<void> KeyValue::put(std::string key, vos::Payload value) {
+  const int group = placement::dkeyGroup(layout_, key);
+
+  std::vector<sim::Task<void>> ops;
+  for (int r = 0; r < layout_.group_size; ++r) {
+    ops.push_back(putReplicaOp(client_, cont_.id, oid_,
+                               layout_.target(group, r), key, value));
+  }
+  if (ops.size() == 1) {
+    co_await std::move(ops.front());
+  } else {
+    co_await sim::whenAll(client_->sim(), std::move(ops));
+  }
+}
+
+sim::Task<std::optional<vos::Payload>> KeyValue::get(std::string key) {
+  const int group = placement::dkeyGroup(layout_, key);
+  hw::Cluster& cluster = client_->system().cluster();
+
+  for (int r = 0; r < layout_.group_size; ++r) {
+    auto [engine, local] =
+        client_->system().locateTarget(layout_.target(group, r));
+    try {
+      co_await net::request(cluster, client_->node(), engine->node(),
+                            net::kSmallRequest + key.size());
+      Engine::GetResult g =
+          co_await engine->valueGet(local, cont_.id, oid_, key, kValueAkey);
+      co_await net::respond(cluster, engine->node(), client_->node(),
+                            g.value.size());
+      if (!g.found) co_return std::nullopt;
+      co_return std::move(g.value);
+    } catch (const hw::DeviceFailed&) {
+      if (r + 1 == layout_.group_size) throw;
+    }
+  }
+  co_return std::nullopt;
+}
+
+sim::Task<bool> KeyValue::remove(std::string key) {
+  const int group = placement::dkeyGroup(layout_, key);
+
+  // Existence check is local state; the RPCs carry the timing.
+  bool existed = false;
+  {
+    auto [engine, local] =
+        client_->system().locateTarget(layout_.target(group, 0));
+    existed = engine->target(local).store().valueGet(cont_.id, oid_, key,
+                                                     kValueAkey) != nullptr;
+  }
+  std::vector<sim::Task<void>> ops;
+  for (int r = 0; r < layout_.group_size; ++r) {
+    ops.push_back(removeReplicaOp(client_, cont_.id, oid_,
+                                  layout_.target(group, r), key));
+  }
+  if (ops.size() == 1) {
+    co_await std::move(ops.front());
+  } else {
+    co_await sim::whenAll(client_->sim(), std::move(ops));
+  }
+  co_return existed;
+}
+
+sim::Task<std::vector<std::string>> KeyValue::list() {
+  std::vector<std::vector<std::string>> per_group(
+      static_cast<std::size_t>(layout_.groups));
+  std::vector<sim::Task<void>> ops;
+  for (int g = 0; g < layout_.groups; ++g) {
+    ops.push_back(listGroupOp(client_, cont_.id, oid_, layout_.target(g, 0),
+                              &per_group[static_cast<std::size_t>(g)]));
+  }
+  co_await sim::whenAll(client_->sim(), std::move(ops));
+
+  std::set<std::string> merged;
+  for (auto& keys : per_group) {
+    for (auto& k : keys) merged.insert(std::move(k));
+  }
+  co_return std::vector<std::string>(merged.begin(), merged.end());
+}
+
+}  // namespace daosim::daos

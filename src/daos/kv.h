@@ -1,0 +1,50 @@
+// DAOS Key-Value object: maps string keys to arbitrary-size values.
+//
+// Keys are distribution keys: each key hashes to one redundancy group of
+// the object's layout (so an SX KV spreads keys over all targets, an S1 KV
+// lives on one target, and an RP_2 KV keeps two replicas of every key).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "daos/client.h"
+#include "placement/layout.h"
+
+namespace daosim::daos {
+
+class KeyValue {
+ public:
+  KeyValue(Client& client, Container cont, ObjectId oid)
+      : client_(&client),
+        cont_(std::move(cont)),
+        oid_(oid),
+        layout_(client.system().layout(oid)) {}
+
+  /// daos_kv_put: stores to every replica of the key's group.
+  sim::Task<void> put(std::string key, vos::Payload value);
+
+  /// daos_kv_get: nullopt when the key is absent. Fails over across
+  /// replicas on device failure.
+  sim::Task<std::optional<vos::Payload>> get(std::string key);
+
+  /// daos_kv_remove: true if the key existed.
+  sim::Task<bool> remove(std::string key);
+
+  /// daos_kv_list: all keys, merged over the object's groups (sorted).
+  sim::Task<std::vector<std::string>> list();
+
+  sim::Task<void> punch() { return client_->objPunch(cont_, oid_); }
+
+  const ObjectId& oid() const noexcept { return oid_; }
+  const placement::Layout& layout() const noexcept { return layout_; }
+
+ private:
+  Client* client_;
+  Container cont_;
+  ObjectId oid_;
+  placement::Layout layout_;
+};
+
+}  // namespace daosim::daos

@@ -1,0 +1,51 @@
+// Pool rebuild: restoring data redundancy after a target is excluded.
+//
+// When a target dies, DAOS excludes it from the pool map and rebuilds the
+// shards it held onto spare targets, using the surviving redundancy
+// (replicas, or erasure-code reconstruction). This module implements that
+// flow for the simulated pool:
+//
+//   1. the administrator excludes the target (DaosSystem::excludeTarget) —
+//      placement immediately re-points the dead slots at spares, leaving
+//      every surviving slot untouched (see placement::computeLayout);
+//   2. rebuild() scans every object in the pool, finds the slots that moved,
+//      and repopulates them: replicated slots are copied from a surviving
+//      replica; erasure-coded data cells are XOR-reconstructed from the
+//      surviving cells and parity; parity cells are recomputed. All
+//      movement is charged as real engine-to-engine I/O (reads, network
+//      transfers, writes);
+//   3. unprotected objects (S1/SX) that lost their only copy are reported,
+//      not silently dropped.
+//
+// After rebuild completes, clients reach the data through the normal
+// (non-degraded) path even though the excluded target stays dead.
+#pragma once
+
+#include <cstdint>
+
+#include "daos/system.h"
+#include "sim/task.h"
+
+namespace daosim::daos {
+
+struct RebuildStats {
+  std::uint64_t objects_scanned = 0;
+  std::uint64_t slots_repaired = 0;
+  std::uint64_t records_restored = 0;
+  std::uint64_t bytes_moved = 0;
+  /// Unprotected shard slots that lived on the victim, detected through the
+  /// object's surviving sibling shards. (An S1 object living entirely on
+  /// the victim leaves no trace to count — as on a real pool.)
+  std::uint64_t objects_lost = 0;
+  /// Records on the victim that the redundancy class cannot regenerate
+  /// (single-value records under erasure coding).
+  std::uint64_t records_unrecoverable = 0;
+  sim::Time duration = 0;
+};
+
+/// Rebuilds the pool after `victim` (a pool-global target index) has been
+/// excluded via DaosSystem::excludeTarget. Runs as a simulated background
+/// process; returns when redundancy is restored.
+sim::Task<RebuildStats> rebuild(DaosSystem& system, int victim);
+
+}  // namespace daosim::daos

@@ -1,0 +1,77 @@
+// DaosSystem: a deployed DAOS pool — one engine per server node, a pool
+// service on the first engine, and target addressing shared by all clients.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "daos/config.h"
+#include "daos/engine.h"
+#include "daos/pool_service.h"
+#include "hw/cluster.h"
+#include "placement/layout.h"
+
+namespace daosim::daos {
+
+class DaosSystem {
+ public:
+  DaosSystem(hw::Cluster& cluster, std::vector<hw::NodeId> server_nodes,
+             DaosConfig cfg = {});
+
+  hw::Cluster& cluster() noexcept { return *cluster_; }
+  const DaosConfig& config() const noexcept { return cfg_; }
+  PoolService& poolService() noexcept { return *pool_service_; }
+
+  int engineCount() const noexcept { return static_cast<int>(engines_.size()); }
+  Engine& engine(int i) noexcept { return *engines_[static_cast<std::size_t>(i)]; }
+
+  /// Pool-wide target count (engines * targets_per_engine).
+  int totalTargets() const noexcept {
+    return engineCount() * cfg_.targets_per_engine;
+  }
+
+  /// Maps a pool-global target index to (engine, local target index).
+  std::pair<Engine*, int> locateTarget(int global) noexcept {
+    const int e = global / cfg_.targets_per_engine;
+    return {engines_[static_cast<std::size_t>(e)].get(),
+            global % cfg_.targets_per_engine};
+  }
+
+  placement::Layout layout(const placement::ObjectId& oid) const {
+    return placement::computeLayout(oid, totalTargets(), &alive_);
+  }
+  /// The layout the object had under a previous pool map (all targets in
+  /// `was_alive` considered alive) — used by rebuild to locate old shards.
+  placement::Layout layoutUnder(const placement::ObjectId& oid,
+                                const std::vector<std::uint8_t>& was_alive)
+      const {
+    return placement::computeLayout(oid, totalTargets(), &was_alive);
+  }
+
+  /// Fails/recovers the device behind a pool-global target (redundancy
+  /// experiments).
+  void failTarget(int global);
+  void recoverTarget(int global);
+
+  /// Administrative exclusion: removes the target from the pool map, so
+  /// *new* layouts avoid it. Existing data is restored by daos::rebuild().
+  void excludeTarget(int global);
+  void reintegrateTarget(int global);
+  bool isExcluded(int global) const {
+    return alive_[static_cast<std::size_t>(global)] == 0;
+  }
+  const std::vector<std::uint8_t>& aliveMap() const noexcept { return alive_; }
+
+  /// Total user bytes held across all targets (space accounting tests).
+  std::uint64_t bytesStored() const;
+
+ private:
+  hw::Cluster* cluster_;
+  DaosConfig cfg_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::unique_ptr<PoolService> pool_service_;
+  std::vector<std::uint8_t> alive_;
+};
+
+}  // namespace daosim::daos

@@ -1,0 +1,141 @@
+// Mini-HDF5: a hierarchical data-format library with two storage drivers,
+// mirroring how the paper exercises HDF5 (§II-A2, §III-B/C).
+//
+//  * H5PosixFile — the sec2/POSIX driver: one file holds the superblock,
+//    object headers, B-tree index nodes and dataset data. Every dataset
+//    create performs small metadata writes (header + index node), every
+//    data transfer pays the library's internal buffer copy, and the index
+//    is persisted on close. Runs over any posix::Vfs (DFUSE, DFUSE+IL,
+//    Lustre, ...).
+//
+//  * H5DaosFile — the DAOS VOL adaptor: one DAOS *container per file*
+//    (hence per writer process in IOR mode), one DAOS object per dataset,
+//    and a root Key-Value object for the dataset catalog. Dataset creation
+//    allocates OIDs through the container service on the pool-service
+//    leader, and dataset opens verify the container handle/epoch there too
+//    — the serialized metadata path that makes this adaptor stop scaling
+//    with server count (the paper's observed scalability wall, attributed
+//    to container-per-process behaviour per its ref [8]).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "daos/array.h"
+#include "daos/client.h"
+#include "daos/kv.h"
+#include "posix/vfs.h"
+#include "sim/task.h"
+
+namespace daosim::hdf5 {
+
+using vos::Payload;
+
+struct H5CostModel {
+  /// Library CPU per dataset-level call (metadata management, dispatch).
+  sim::Time cpu_per_op = 30 * sim::kMicrosecond;
+  /// Internal buffer copy (sieve buffer / datatype conversion path) applied
+  /// to every data transfer in either direction.
+  double internal_copy_gibps = 0.22;
+  /// POSIX driver: object header and index-node sizes.
+  std::uint64_t object_header_bytes = 512;
+  std::uint64_t btree_node_bytes = 4096;
+  /// DAOS VOL: OIDs requested from the container service per allocation
+  /// (the adaptor allocates lazily in small batches; 1 models the
+  /// metadata-heavy default).
+  std::uint64_t oid_alloc_batch = 1;
+};
+
+struct Dataset {
+  std::string name;
+  std::uint64_t size = 0;
+  std::uint64_t file_offset = 0;    // POSIX driver
+  placement::ObjectId oid;          // DAOS VOL
+};
+
+class H5File {
+ public:
+  virtual ~H5File() = default;
+
+  virtual sim::Task<Dataset> createDataset(std::string name,
+                                           std::uint64_t size) = 0;
+  virtual sim::Task<void> writeDataset(Dataset dset, Payload data) = 0;
+  virtual sim::Task<Dataset> openDataset(std::string name) = 0;
+  virtual sim::Task<Payload> readDataset(Dataset dset) = 0;
+  virtual sim::Task<void> close() = 0;
+};
+
+/// POSIX (sec2) driver over a Vfs.
+class H5PosixFile final : public H5File {
+ public:
+  /// Creates a new file (truncating any existing one).
+  static sim::Task<std::unique_ptr<H5PosixFile>> create(
+      sim::Simulation& sim, posix::Vfs& vfs, std::string path,
+      H5CostModel cost = {});
+  /// Opens an existing file and loads the persisted dataset index.
+  static sim::Task<std::unique_ptr<H5PosixFile>> open(
+      sim::Simulation& sim, posix::Vfs& vfs, std::string path,
+      H5CostModel cost = {});
+
+  sim::Task<Dataset> createDataset(std::string name,
+                                   std::uint64_t size) override;
+  sim::Task<void> writeDataset(Dataset dset, Payload data) override;
+  sim::Task<Dataset> openDataset(std::string name) override;
+  sim::Task<Payload> readDataset(Dataset dset) override;
+  sim::Task<void> close() override;
+
+ private:
+  H5PosixFile(sim::Simulation& sim, posix::Vfs& vfs, std::string path,
+              H5CostModel cost)
+      : sim_(&sim), vfs_(&vfs), path_(std::move(path)), cost_(cost) {}
+
+  sim::Task<void> libraryCpu() { co_await sim_->delay(cost_.cpu_per_op); }
+  sim::Task<void> copyCost(std::uint64_t bytes);
+
+  sim::Simulation* sim_;
+  posix::Vfs* vfs_;
+  std::string path_;
+  H5CostModel cost_;
+  posix::Fd fd_ = -1;
+  std::uint64_t eof_ = 4096;  // superblock block
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> index_;
+  bool open_ = false;
+};
+
+/// DAOS VOL adaptor: container per file, object per dataset.
+class H5DaosFile final : public H5File {
+ public:
+  static sim::Task<std::unique_ptr<H5DaosFile>> create(daos::Client& client,
+                                                       std::string name,
+                                                       H5CostModel cost = {});
+  static sim::Task<std::unique_ptr<H5DaosFile>> open(daos::Client& client,
+                                                     std::string name,
+                                                     H5CostModel cost = {});
+
+  sim::Task<Dataset> createDataset(std::string name,
+                                   std::uint64_t size) override;
+  sim::Task<void> writeDataset(Dataset dset, Payload data) override;
+  sim::Task<Dataset> openDataset(std::string name) override;
+  sim::Task<Payload> readDataset(Dataset dset) override;
+  sim::Task<void> close() override;
+
+ private:
+  H5DaosFile(daos::Client& client, daos::Container cont, H5CostModel cost)
+      : client_(&client), cont_(std::move(cont)), cost_(cost) {}
+
+  sim::Task<void> libraryCpu() {
+    co_await client_->sim().delay(cost_.cpu_per_op);
+  }
+  sim::Task<void> copyCost(std::uint64_t bytes);
+  daos::KeyValue rootKv();
+  /// Serialized handle/epoch verification on the pool-service leader.
+  sim::Task<void> leaderQuery();
+
+  daos::Client* client_;
+  daos::Container cont_;
+  H5CostModel cost_;
+};
+
+}  // namespace daosim::hdf5

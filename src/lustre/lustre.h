@@ -1,0 +1,151 @@
+// Lustre-like distributed POSIX file system.
+//
+// Deployment matches the paper's §III-E: OSS nodes each exposing one OST per
+// local NVMe device, plus one MDS node (single NVMe) serving all metadata.
+// Every namespace operation (lookup/open-intent, create, close, stat,
+// unlink, readdir) is an RPC to the single MDS — the centralized-metadata
+// design whose saturation explains fdb-hammer's read ceiling in Fig. 7.
+// Bulk data moves directly between clients and OSTs with files striped
+// round-robin at `stripe_size` across `stripe_count` OSTs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "net/rpc.h"
+#include "posix/vfs.h"
+#include "sim/queue_station.h"
+#include "vos/target_store.h"
+
+namespace daosim::lustre {
+
+struct LustreConfig {
+  int osts_per_oss = 16;
+  int default_stripe_count = 1;
+  std::uint64_t default_stripe_size = 1 << 20;
+  /// MDS request service time (intent lookup, create, close, getattr) and
+  /// service thread count.
+  sim::Time mds_service = 80 * sim::kMicrosecond;
+  int mds_threads = 16;
+  /// Journal record appended for each namespace mutation; records are
+  /// group-committed to the MDS NVMe in `mds_journal_batch`-byte writes
+  /// (Lustre's llog/transaction batching), so the journal device does not
+  /// serialize individual creates.
+  std::uint64_t mds_journal_bytes = 512;
+  std::uint64_t mds_journal_batch = 64 * 1024;
+  /// Per-RPC CPU on an OST.
+  sim::Time ost_service_cpu = 4 * sim::kMicrosecond;
+  bool retain_data = true;
+};
+
+struct StripeLayout {
+  int stripe_count = 1;
+  std::uint64_t stripe_size = 1 << 20;
+  std::vector<int> osts;  // global OST indices, one per stripe
+};
+
+struct Inode {
+  std::uint64_t fid = 0;
+  bool is_directory = false;
+  std::uint64_t size = 0;
+  StripeLayout layout;
+};
+
+class LustreSystem {
+ public:
+  LustreSystem(hw::Cluster& cluster, std::vector<hw::NodeId> oss_nodes,
+               hw::NodeId mds_node, LustreConfig config = {});
+
+  hw::Cluster& cluster() noexcept { return *cluster_; }
+  const LustreConfig& config() const noexcept { return config_; }
+  hw::NodeId mdsNode() const noexcept { return mds_node_; }
+  int ostCount() const noexcept { return static_cast<int>(osts_.size()); }
+
+  struct Ost {
+    Ost(sim::Simulation& sim, hw::NodeId n, hw::NvmeDevice& d,
+        std::string name, bool retain)
+        : node(n), device(&d), cpu(sim, std::move(name), 1), store(retain) {}
+    hw::NodeId node;
+    hw::NvmeDevice* device;
+    sim::QueueStation cpu;
+    vos::TargetStore store;
+  };
+  Ost& ost(int global) noexcept { return *osts_[static_cast<std::size_t>(global)]; }
+
+  // ---- MDS server-side handlers (run inside an RPC) --------------------
+  /// One metadata service slot: queue on the MDS threads, service time,
+  /// and (for mutations) a journal write to the MDS NVMe.
+  sim::Task<void> mdsOp(bool mutation);
+
+  // Namespace state (guarded by the MDS being a single service).
+  std::map<std::string, Inode>& namespaceMap() noexcept { return namespace_; }
+  Inode* find(const std::string& path);
+  Inode& createInode(const std::string& path, bool dir, int stripe_count,
+                     std::uint64_t stripe_size);
+  void removeInode(const std::string& path);
+  std::uint64_t bytesStored() const;
+  const sim::QueueStation& mdsStation() const noexcept { return mds_threads_; }
+
+ private:
+  hw::Cluster* cluster_;
+  LustreConfig config_;
+  hw::NodeId mds_node_;
+  sim::QueueStation mds_threads_;
+  hw::NvmeDevice* mds_device_;
+  std::vector<std::unique_ptr<Ost>> osts_;
+  std::map<std::string, Inode> namespace_;
+  std::uint64_t next_fid_ = 1;
+  int alloc_cursor_ = 0;  // round-robin OST allocator
+  std::uint64_t journal_pending_ = 0;
+};
+
+/// POSIX client for a Lustre system (one per simulated process).
+class LustreVfs : public posix::Vfs {
+ public:
+  /// stripe_count <= 0 means the file-system default. The paper's fdb runs
+  /// use stripe_count=8, stripe_size=8 MiB.
+  LustreVfs(LustreSystem& system, hw::NodeId client_node,
+            int stripe_count = 0, std::uint64_t stripe_size = 0)
+      : system_(&system),
+        node_(client_node),
+        stripe_count_(stripe_count),
+        stripe_size_(stripe_size) {}
+
+  sim::Task<posix::Fd> open(std::string path, posix::OpenFlags flags) override;
+  sim::Task<void> close(posix::Fd fd) override;
+  sim::Task<std::uint64_t> pwrite(posix::Fd fd, std::uint64_t offset,
+                                  vos::Payload data) override;
+  sim::Task<vos::Payload> pread(posix::Fd fd, std::uint64_t offset,
+                                std::uint64_t length) override;
+  sim::Task<posix::FileStat> stat(std::string path) override;
+  sim::Task<posix::FileStat> fstat(posix::Fd fd) override;
+  sim::Task<void> fsync(posix::Fd fd) override;
+  sim::Task<void> mkdir(std::string path) override;
+  sim::Task<void> mkdirs(std::string path) override;
+  sim::Task<void> unlink(std::string path) override;
+  sim::Task<std::vector<std::string>> readdir(std::string path) override;
+  sim::Task<void> truncate(std::string path, std::uint64_t size) override;
+  sim::Task<void> rename(std::string from, std::string to) override;
+
+ private:
+  /// Metadata round trip to the MDS.
+  sim::Task<void> mdsCall(bool mutation);
+  sim::Task<void> writeStripe(std::uint64_t fid, int ost_global,
+                              std::uint64_t offset, vos::Payload piece);
+  sim::Task<vos::Payload> readStripe(std::uint64_t fid, int ost_global,
+                                     std::uint64_t offset,
+                                     std::uint64_t length);
+
+  LustreSystem* system_;
+  hw::NodeId node_;
+  int stripe_count_;
+  std::uint64_t stripe_size_;
+  std::map<posix::Fd, Inode*> files_;
+};
+
+}  // namespace daosim::lustre

@@ -1,0 +1,54 @@
+// Object placement: maps (oid, object class, pool width) to concrete target
+// lists, and dkeys to redundancy groups.
+//
+// Placement is a deterministic pseudo-random ring walk seeded by the OID
+// hash: group g, index i within the group maps to target
+// (start + g*group_size + i) mod T with a per-object start and stride. This
+// is uniform across objects, keeps redundancy-group members distinct, and is
+// stable for the lifetime of the pool — the properties the algorithmic
+// placement in DAOS provides that matter for performance experiments.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "placement/objclass.h"
+#include "placement/oid.h"
+
+namespace daosim::placement {
+
+struct Layout {
+  ObjClass oclass{};
+  ClassSpec spec;
+  int total_targets = 0;
+  int groups = 0;       // resolved redundancy-group count
+  int group_size = 0;   // targets per group
+  /// groups * group_size target indices; group g occupies
+  /// [g*group_size, (g+1)*group_size).
+  std::vector<int> targets;
+
+  int target(int group, int index_in_group) const noexcept {
+    return targets[static_cast<std::size_t>(group * group_size +
+                                            index_in_group)];
+  }
+  /// All targets of one redundancy group.
+  std::vector<int> groupTargets(int group) const;
+};
+
+/// Resolves the layout of `oid` on a pool with `total_targets` targets.
+/// `alive` (optional, size total_targets) marks excluded targets with 0:
+/// the placement walk skips them, so layouts are stable except for slots at
+/// or after an excluded target's position in the object's permutation —
+/// the property pool-map-driven rebuild relies on. With all targets alive
+/// the result is identical to the two-argument form.
+Layout computeLayout(const ObjectId& oid, int total_targets,
+                     const std::vector<std::uint8_t>* alive = nullptr);
+
+/// Stable hash of a distribution key.
+std::uint64_t dkeyHash(std::string_view dkey) noexcept;
+
+/// Which redundancy group a dkey belongs to.
+int dkeyGroup(const Layout& layout, std::string_view dkey) noexcept;
+
+}  // namespace daosim::placement

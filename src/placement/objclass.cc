@@ -1,0 +1,74 @@
+#include "placement/objclass.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace daosim::placement {
+
+ClassSpec classSpec(ObjClass oc) noexcept {
+  switch (oc) {
+    case ObjClass::S1:
+      return {.groups = 1};
+    case ObjClass::S2:
+      return {.groups = 2};
+    case ObjClass::S4:
+      return {.groups = 4};
+    case ObjClass::S8:
+      return {.groups = 8};
+    case ObjClass::SX:
+      return {.groups = -1};
+    case ObjClass::RP_2G1:
+      return {.groups = 1, .replicas = 2};
+    case ObjClass::RP_2GX:
+      return {.groups = -1, .replicas = 2};
+    case ObjClass::RP_3G1:
+      return {.groups = 1, .replicas = 3};
+    case ObjClass::EC_2P1G1:
+      return {.groups = 1, .ec_data = 2, .ec_parity = 1};
+    case ObjClass::EC_2P1GX:
+      return {.groups = -1, .ec_data = 2, .ec_parity = 1};
+    case ObjClass::EC_4P2GX:
+      return {.groups = -1, .ec_data = 4, .ec_parity = 2};
+  }
+  return {};
+}
+
+std::string_view className(ObjClass oc) noexcept {
+  switch (oc) {
+    case ObjClass::S1:
+      return "S1";
+    case ObjClass::S2:
+      return "S2";
+    case ObjClass::S4:
+      return "S4";
+    case ObjClass::S8:
+      return "S8";
+    case ObjClass::SX:
+      return "SX";
+    case ObjClass::RP_2G1:
+      return "RP_2G1";
+    case ObjClass::RP_2GX:
+      return "RP_2GX";
+    case ObjClass::RP_3G1:
+      return "RP_3G1";
+    case ObjClass::EC_2P1G1:
+      return "EC_2P1G1";
+    case ObjClass::EC_2P1GX:
+      return "EC_2P1GX";
+    case ObjClass::EC_4P2GX:
+      return "EC_4P2GX";
+  }
+  return "?";
+}
+
+ObjClass classFromName(std::string_view name) {
+  for (ObjClass oc :
+       {ObjClass::S1, ObjClass::S2, ObjClass::S4, ObjClass::S8, ObjClass::SX,
+        ObjClass::RP_2G1, ObjClass::RP_2GX, ObjClass::RP_3G1,
+        ObjClass::EC_2P1G1, ObjClass::EC_2P1GX, ObjClass::EC_4P2GX}) {
+    if (className(oc) == name) return oc;
+  }
+  throw std::invalid_argument("unknown object class: " + std::string(name));
+}
+
+}  // namespace daosim::placement

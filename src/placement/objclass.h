@@ -1,0 +1,61 @@
+// DAOS object classes: how an object is sharded and protected.
+//
+// Mirrors the classes the paper uses: S1/S2/S4/S8/SX (sharding over 1..all
+// targets, no protection), RP_2G1/RP_2GX (2-way replication), and
+// EC_2P1G1/EC_2P1GX (2 data + 1 parity erasure coding). G1 = one redundancy
+// group; GX = as many groups as targets allow.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace daosim::placement {
+
+enum class ObjClass : std::uint16_t {
+  S1 = 1,   // single shard, no redundancy
+  S2,       // 2 shards
+  S4,       // 4 shards
+  S8,       // 8 shards
+  SX,       // shard across all targets
+  RP_2G1,   // 2 replicas, 1 group
+  RP_2GX,   // 2 replicas, max groups
+  RP_3G1,   // 3 replicas, 1 group
+  EC_2P1G1,  // 2 data + 1 parity, 1 group
+  EC_2P1GX,  // 2 data + 1 parity, max groups
+  EC_4P2GX,  // 4 data + 2 parity, max groups
+};
+
+/// Static description of a class.
+struct ClassSpec {
+  /// Redundancy-group count; -1 means "as many as targets allow" (the X
+  /// classes).
+  int groups = 1;
+  /// Replica count within a group (1 = none). Mutually exclusive with EC.
+  int replicas = 1;
+  /// Erasure coding data/parity cell counts (0 = not erasure coded).
+  int ec_data = 0;
+  int ec_parity = 0;
+
+  bool erasureCoded() const noexcept { return ec_data > 0; }
+  bool replicated() const noexcept { return replicas > 1; }
+  /// Targets per redundancy group.
+  int groupSize() const noexcept {
+    return erasureCoded() ? ec_data + ec_parity : replicas;
+  }
+  /// Bytes written to storage per byte of user data.
+  double writeAmplification() const noexcept {
+    if (erasureCoded()) {
+      return static_cast<double>(ec_data + ec_parity) /
+             static_cast<double>(ec_data);
+    }
+    return static_cast<double>(replicas);
+  }
+};
+
+ClassSpec classSpec(ObjClass oc) noexcept;
+std::string_view className(ObjClass oc) noexcept;
+
+/// Inverse of className; throws std::invalid_argument on unknown names.
+ObjClass classFromName(std::string_view name);
+
+}  // namespace daosim::placement

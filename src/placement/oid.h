@@ -1,0 +1,54 @@
+// 128-bit object identifiers.
+//
+// As in DAOS, OIDs are 128 bits of which 96 are user-managed; the upper 32
+// bits of `hi` encode DAOS-managed metadata — here, the object class. The
+// class is chosen at creation time and is immutable afterwards.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "placement/objclass.h"
+#include "sim/rng.h"
+
+namespace daosim::placement {
+
+struct ObjectId {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend auto operator<=>(const ObjectId&, const ObjectId&) = default;
+
+  /// Stable 64-bit hash of the id (used for placement).
+  std::uint64_t hash() const noexcept { return sim::hashCombine(hi, lo); }
+};
+
+inline constexpr std::uint64_t kUserHiMask = 0xffffffffULL;  // low 32 of hi
+
+/// Encodes the DAOS-managed bits (object class) into a user-supplied 96-bit
+/// id. The user keeps `user_hi` (32 bits) and `lo` (64 bits).
+constexpr ObjectId makeOid(ObjClass oc, std::uint64_t lo,
+                           std::uint32_t user_hi = 0) noexcept {
+  return ObjectId{(static_cast<std::uint64_t>(oc) << 48) |
+                      (static_cast<std::uint64_t>(user_hi)),
+                  lo};
+}
+
+constexpr ObjClass oidClass(const ObjectId& oid) noexcept {
+  return static_cast<ObjClass>((oid.hi >> 48) & 0xffff);
+}
+
+constexpr std::uint32_t oidUserHi(const ObjectId& oid) noexcept {
+  return static_cast<std::uint32_t>(oid.hi & kUserHiMask);
+}
+
+}  // namespace daosim::placement
+
+template <>
+struct std::hash<daosim::placement::ObjectId> {
+  std::size_t operator()(
+      const daosim::placement::ObjectId& oid) const noexcept {
+    return static_cast<std::size_t>(oid.hash());
+  }
+};

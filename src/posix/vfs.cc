@@ -1,0 +1,23 @@
+#include "posix/vfs.h"
+
+namespace daosim::posix {
+
+sim::Task<std::uint64_t> Vfs::write(Fd fd, Payload data) {
+  Cursor& c = cursor(fd);
+  const std::uint64_t n = co_await pwrite(fd, c.offset, std::move(data));
+  cursor(fd).offset += n;
+  co_return n;
+}
+
+sim::Task<Payload> Vfs::read(Fd fd, std::uint64_t length) {
+  Cursor& c = cursor(fd);
+  Payload p = co_await pread(fd, c.offset, length);
+  cursor(fd).offset += p.size();
+  co_return p;
+}
+
+void Vfs::seek(Fd fd, std::uint64_t offset) { cursor(fd).offset = offset; }
+
+std::uint64_t Vfs::tell(Fd fd) const { return cursor(fd).offset; }
+
+}  // namespace daosim::posix

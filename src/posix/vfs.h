@@ -1,0 +1,91 @@
+// POSIX-style virtual file system interface.
+//
+// The benchmarks' POSIX backends (IOR POSIX mode, fdb-hammer POSIX mode,
+// HDF5's POSIX driver) program against this interface; implementations are
+// DFUSE, DFUSE + interception library, direct libdfs, and the Lustre
+// client. One Vfs instance exists per simulated process (it owns the file
+// descriptor table); node-level shared state (the DFUSE daemon, the Lustre
+// client mount) lives behind it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/task.h"
+#include "vos/payload.h"
+
+namespace daosim::posix {
+
+using vos::Payload;
+
+struct OpenFlags {
+  bool create = false;
+  bool truncate = false;
+  bool exclusive = false;
+  bool append = false;
+  bool read_only = false;
+
+  static OpenFlags readOnly() { return {.read_only = true}; }
+  static OpenFlags writeCreate() { return {.create = true, .truncate = true}; }
+  static OpenFlags appendCreate() { return {.create = true, .append = true}; }
+};
+
+struct FileStat {
+  bool is_directory = false;
+  std::uint64_t size = 0;
+};
+
+using Fd = int;
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual sim::Task<Fd> open(std::string path, OpenFlags flags) = 0;
+  virtual sim::Task<void> close(Fd fd) = 0;
+
+  virtual sim::Task<std::uint64_t> pwrite(Fd fd, std::uint64_t offset,
+                                          Payload data) = 0;
+  virtual sim::Task<Payload> pread(Fd fd, std::uint64_t offset,
+                                   std::uint64_t length) = 0;
+
+  /// Sequential write at the fd's current offset (append-aware).
+  sim::Task<std::uint64_t> write(Fd fd, Payload data);
+  /// Sequential read at the fd's current offset.
+  sim::Task<Payload> read(Fd fd, std::uint64_t length);
+  void seek(Fd fd, std::uint64_t offset);
+  std::uint64_t tell(Fd fd) const;
+
+  virtual sim::Task<FileStat> stat(std::string path) = 0;
+  virtual sim::Task<FileStat> fstat(Fd fd) = 0;
+  virtual sim::Task<void> fsync(Fd fd) = 0;
+  virtual sim::Task<void> mkdir(std::string path) = 0;
+  virtual sim::Task<void> mkdirs(std::string path) = 0;
+  virtual sim::Task<void> unlink(std::string path) = 0;
+  virtual sim::Task<std::vector<std::string>> readdir(std::string path) = 0;
+  virtual sim::Task<void> truncate(std::string path, std::uint64_t size) = 0;
+  virtual sim::Task<void> rename(std::string from, std::string to) = 0;
+
+ protected:
+  struct Cursor {
+    std::uint64_t offset = 0;
+    bool append = false;
+  };
+
+  Fd allocFd(bool append) {
+    const Fd fd = next_fd_++;
+    cursors_[fd] = Cursor{0, append};
+    return fd;
+  }
+  void releaseFd(Fd fd) { cursors_.erase(fd); }
+  Cursor& cursor(Fd fd) { return cursors_.at(fd); }
+  const Cursor& cursor(Fd fd) const { return cursors_.at(fd); }
+
+ private:
+  std::map<Fd, Cursor> cursors_;
+  Fd next_fd_ = 3;  // 0-2 are reserved, as tradition demands
+};
+
+}  // namespace daosim::posix

@@ -1,0 +1,195 @@
+#include "rados/rados.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/spec.h"
+#include "sim/sync.h"
+#include "placement/layout.h"
+#include "placement/oid.h"
+
+namespace daosim::rados {
+
+namespace {
+
+constexpr vos::ContId kRadosPool = 1;
+
+/// Object names are hashed into a synthetic OID for the backing store.
+placement::ObjectId objectOid(const std::string& name) {
+  return placement::makeOid(placement::ObjClass::S1,
+                            placement::dkeyHash(name), 0xffffff02u);
+}
+
+}  // namespace
+
+CephCluster::CephCluster(hw::Cluster& cluster,
+                         std::vector<hw::NodeId> osd_nodes,
+                         hw::NodeId mon_node, CephConfig config)
+    : cluster_(&cluster), config_(config), mon_node_(mon_node) {
+  for (hw::NodeId node : osd_nodes) {
+    hw::Node& n = cluster.node(node);
+    if (static_cast<int>(n.driveCount()) < config.osds_per_node) {
+      throw std::invalid_argument("CephCluster: node lacks NVMe drives");
+    }
+    for (int i = 0; i < config.osds_per_node; ++i) {
+      osds_.push_back(std::make_unique<Osd>(
+          cluster.sim(), node, n.drive(static_cast<std::size_t>(i)),
+          "osd" + std::to_string(osds_.size()), config.osd_op_threads,
+          config.retain_data));
+    }
+  }
+}
+
+int CephCluster::pgOf(const std::string& object) const {
+  return static_cast<int>(placement::dkeyHash(object) %
+                          static_cast<std::uint64_t>(config_.pg_count));
+}
+
+int CephCluster::primaryOsd(int pg) const {
+  // Balanced PG->OSD map: with enough PGs every OSD owns pg_count/osd_count
+  // of them, which is what CRUSH + the upmap balancer converge to on a
+  // flat uniform-weight tree (the paper tuned PG count precisely to achieve
+  // "balanced object placement across OSDs"). A permuted index keeps
+  // adjacent PGs off adjacent OSDs.
+  const auto n = static_cast<std::uint64_t>(osds_.size());
+  const std::uint64_t salt =
+      sim::mix64(static_cast<std::uint64_t>(pg) / n);  // per-round shuffle
+  return static_cast<int>((static_cast<std::uint64_t>(pg) + salt) % n);
+}
+
+std::vector<int> CephCluster::upSet(int pg) const {
+  std::vector<int> osds;
+  const int n = osdCount();
+  const int primary = primaryOsd(pg);
+  for (int r = 0; r < config_.replica_count && r < n; ++r) {
+    // Secondaries follow the primary in a per-PG stride walk, keeping the
+    // set distinct and balanced.
+    osds.push_back((primary + r * (1 + pg % (n > 1 ? n - 1 : 1))) % n);
+  }
+  // De-duplicate in the rare stride-collision case.
+  for (std::size_t i = 1; i < osds.size(); ++i) {
+    while (std::find(osds.begin(), osds.begin() + static_cast<long>(i),
+                     osds[i]) != osds.begin() + static_cast<long>(i)) {
+      osds[i] = (osds[i] + 1) % n;
+    }
+  }
+  return osds;
+}
+
+std::uint64_t CephCluster::bytesStored() const {
+  std::uint64_t total = 0;
+  for (const auto& osd : osds_) total += osd->store.bytesStored();
+  return total;
+}
+
+sim::Task<void> RadosClient::connect() {
+  co_await net::request(ceph_->cluster(), node_, ceph_->monNode(),
+                        net::kSmallRequest);
+  co_await ceph_->cluster().sim().delay(50 * sim::kMicrosecond);
+  co_await net::respond(ceph_->cluster(), ceph_->monNode(), node_,
+                        64 * 1024);  // cluster + PG maps
+}
+
+namespace {
+
+/// Persist one replica of a write on an OSD (op pipeline + device).
+sim::Task<void> persistOnOsd(CephCluster* ceph, CephCluster::Osd* osd,
+                             std::string object, std::uint64_t offset,
+                             vos::Payload data) {
+  co_await osd->op_threads.exec(ceph->config().osd_op_cpu);
+  const auto amplified = static_cast<std::uint64_t>(
+      static_cast<double>(data.size()) * ceph->config().write_amplification);
+  co_await osd->device->write(amplified);
+  osd->store.extentWrite(kRadosPool, objectOid(object), "", "0", offset,
+                         std::move(data));
+}
+
+/// Replicate a write from the primary to one secondary OSD.
+sim::Task<void> replicateToOsd(CephCluster* ceph, hw::NodeId primary_node,
+                               int osd_id, std::string object,
+                               std::uint64_t offset, vos::Payload data) {
+  CephCluster::Osd& sec = ceph->osd(osd_id);
+  co_await net::request(ceph->cluster(), primary_node, sec.node,
+                        net::kSmallRequest + object.size() + data.size());
+  co_await persistOnOsd(ceph, &sec, std::move(object), offset,
+                        std::move(data));
+  co_await net::respond(ceph->cluster(), sec.node, primary_node, 0);
+}
+
+}  // namespace
+
+sim::Task<void> RadosClient::write(std::string object, std::uint64_t offset,
+                                   vos::Payload data) {
+  if (offset + data.size() > ceph_->config().max_object_bytes) {
+    throw std::invalid_argument("rados write: beyond max object size");
+  }
+  const std::vector<int> up = ceph_->upSet(ceph_->pgOf(object));
+  CephCluster::Osd& primary = ceph_->osd(up.front());
+  co_await net::request(ceph_->cluster(), node_, primary.node,
+                        net::kSmallRequest + object.size() + data.size());
+  // The primary persists locally and forwards to the secondaries in
+  // parallel; the client ack waits for the whole up set.
+  std::vector<sim::Task<void>> ops;
+  ops.push_back(persistOnOsd(ceph_, &primary, object, offset, data));
+  for (std::size_t r = 1; r < up.size(); ++r) {
+    ops.push_back(replicateToOsd(ceph_, primary.node, up[r], object, offset,
+                                 data));
+  }
+  if (ops.size() == 1) {
+    co_await std::move(ops.front());
+  } else {
+    co_await sim::whenAll(ceph_->cluster().sim(), std::move(ops));
+  }
+  co_await net::respond(ceph_->cluster(), primary.node, node_, 0);
+}
+
+sim::Task<vos::Payload> RadosClient::read(std::string object,
+                                          std::uint64_t offset,
+                                          std::uint64_t length) {
+  CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
+  co_await net::request(ceph_->cluster(), node_, osd.node,
+                        net::kSmallRequest + object.size());
+  // The OSD op thread is held for the pipeline work (crc, copies); the
+  // device read queues independently underneath.
+  co_await osd.op_threads.enter();
+  std::exception_ptr err;
+  vos::ExtentTree::ReadResult r;
+  try {
+    co_await ceph_->cluster().sim().delay(
+        ceph_->config().osd_op_cpu +
+        hw::transferTime(length, ceph_->config().read_path_gibps));
+    r = osd.store.extentRead(kRadosPool, objectOid(object), "", "0", offset,
+                             length);
+    if (r.bytes_found > 0) co_await osd.device->read(r.bytes_found);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  osd.op_threads.leave();
+  if (err) std::rethrow_exception(err);
+  co_await net::respond(ceph_->cluster(), osd.node, node_, length);
+  co_return std::move(r.data);
+}
+
+sim::Task<std::uint64_t> RadosClient::stat(std::string object) {
+  CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
+  co_await net::request(ceph_->cluster(), node_, osd.node,
+                        net::kSmallRequest + object.size());
+  co_await osd.op_threads.exec(ceph_->config().osd_op_cpu / 2);
+  const std::uint64_t size =
+      osd.store.extentEnd(kRadosPool, objectOid(object), "", "0");
+  co_await net::respond(ceph_->cluster(), osd.node, node_, 32);
+  co_return size;
+}
+
+sim::Task<void> RadosClient::remove(std::string object) {
+  CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
+  co_await net::request(ceph_->cluster(), node_, osd.node,
+                        net::kSmallRequest + object.size());
+  co_await osd.op_threads.exec(ceph_->config().osd_op_cpu);
+  co_await osd.device->write(4096);  // deletion journal record
+  osd.store.punchObject(kRadosPool, objectOid(object));
+  co_await net::respond(ceph_->cluster(), osd.node, node_, 0);
+}
+
+}  // namespace daosim::rados

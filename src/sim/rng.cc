@@ -1,0 +1,15 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace daosim::sim {
+
+double Rng::exponential(double mean) noexcept {
+  if (mean <= 0.0) return 0.0;
+  double u = real01();
+  // Guard against log(0); real01() < 1 so 1-u > 0 already, but be explicit.
+  if (u >= 1.0) u = 0x1.fffffffffffffp-1;
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace daosim::sim

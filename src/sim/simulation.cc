@@ -1,0 +1,69 @@
+#include "sim/simulation.h"
+
+#include <stdexcept>
+
+namespace daosim::sim {
+
+namespace detail {
+
+void JoinState::complete(std::exception_ptr e) {
+  done = true;
+  error = std::move(e);
+  // Resume joiners through the scheduler (never inline) so completion order
+  // stays FIFO-deterministic and stacks stay shallow.
+  for (auto h : waiters) sim->scheduleAt(sim->now(), h);
+  waiters.clear();
+}
+
+}  // namespace detail
+
+detail::Root Simulation::runRoot(std::shared_ptr<detail::JoinState> state,
+                                 Task<void> task) {
+  std::exception_ptr error;
+  try {
+    co_await std::move(task);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  state->complete(std::move(error));
+}
+
+ProcHandle Simulation::spawn(Task<void> task) {
+  auto state = std::make_shared<detail::JoinState>(*this);
+  runRoot(state, std::move(task));
+  return ProcHandle(state);
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    if (n >= max_events) {
+      throw std::runtime_error(
+          "Simulation::run: event budget exhausted (possible livelock)");
+    }
+    Item item = queue_.top();
+    queue_.pop();
+    assert(item.t >= now_);
+    now_ = item.t;
+    ++n;
+    ++processed_;
+    item.h.resume();
+  }
+  return n;
+}
+
+std::size_t Simulation::runUntil(Time t) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.top().t <= t) {
+    Item item = queue_.top();
+    queue_.pop();
+    now_ = item.t;
+    ++n;
+    ++processed_;
+    item.h.resume();
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace daosim::sim

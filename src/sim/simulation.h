@@ -1,0 +1,169 @@
+// Discrete-event simulation kernel.
+//
+// The Simulation owns a time-ordered event queue of coroutine resumptions.
+// Simulated activities are coroutines (sim::Task) which suspend on awaitables
+// (delay, synchronization primitives, queueing stations) and are resumed by
+// the kernel at the appropriate simulated instant. Events at equal times are
+// processed in FIFO scheduling order, which makes runs fully deterministic.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace daosim::sim {
+
+class Simulation;
+
+namespace detail {
+
+/// Shared completion state of a spawned process.
+struct JoinState {
+  explicit JoinState(Simulation& s) : sim(&s) {}
+
+  Simulation* sim;
+  bool done = false;
+  std::exception_ptr error;
+  std::vector<std::coroutine_handle<>> waiters;
+
+  void complete(std::exception_ptr e);
+};
+
+/// Self-starting, self-destroying root coroutine wrapping a spawned task.
+struct Root {
+  struct promise_type {
+    Root get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+}  // namespace detail
+
+/// Handle to a spawned simulated process; join() awaits its completion and
+/// rethrows any exception the process terminated with.
+class ProcHandle {
+ public:
+  ProcHandle() = default;
+  explicit ProcHandle(std::shared_ptr<detail::JoinState> s)
+      : state_(std::move(s)) {}
+
+  bool valid() const noexcept { return static_cast<bool>(state_); }
+  bool done() const noexcept { return state_ && state_->done; }
+  bool failed() const noexcept {
+    return state_ && state_->done && state_->error;
+  }
+  /// The exception a completed process failed with (null if none).
+  std::exception_ptr error() const noexcept {
+    return state_ ? state_->error : nullptr;
+  }
+
+  /// Awaitable that completes when the process finishes.
+  auto join() const noexcept {
+    struct Awaiter {
+      detail::JoinState* state;
+
+      bool await_ready() const noexcept { return state->done; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        state->waiters.push_back(h);
+      }
+      void await_resume() const {
+        if (state->error) std::rethrow_exception(state->error);
+      }
+    };
+    assert(state_ && "joining an empty process handle");
+    return Awaiter{state_.get()};
+  }
+
+ private:
+  std::shared_ptr<detail::JoinState> state_;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : rng_(seed) {}
+
+  // Neither copyable nor movable: queue stations, nodes and engines hold
+  // stable pointers to their Simulation.
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  Simulation(Simulation&&) = delete;
+  Simulation& operator=(Simulation&&) = delete;
+
+  Time now() const noexcept { return now_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Schedules `h` to resume at absolute simulated time `t` (>= now).
+  void scheduleAt(Time t, std::coroutine_handle<> h) {
+    assert(t >= now_);
+    queue_.push(Item{t, seq_++, h});
+  }
+
+  void scheduleAfter(Time d, std::coroutine_handle<> h) {
+    scheduleAt(now_ + d, h);
+  }
+
+  /// Awaitable suspending the current coroutine for `d` simulated time.
+  auto delay(Time d) noexcept {
+    struct Awaiter {
+      Simulation* sim;
+      Time d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sim->scheduleAfter(d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  /// Reschedules the current coroutine at the current time (fair yield).
+  auto yield() noexcept { return delay(0); }
+
+  /// Starts a detached simulated process. The process begins running
+  /// immediately (until its first suspension point).
+  ProcHandle spawn(Task<void> task);
+
+  /// Runs until the event queue drains; returns the number of events
+  /// processed. `max_events` guards against runaway simulations.
+  std::size_t run(std::size_t max_events = ~std::size_t{0});
+
+  /// Runs events with timestamps <= t, then sets now to t.
+  std::size_t runUntil(Time t);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pendingEvents() const noexcept { return queue_.size(); }
+  std::size_t processedEvents() const noexcept { return processed_; }
+
+ private:
+  struct Item {
+    Time t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  static detail::Root runRoot(std::shared_ptr<detail::JoinState> state,
+                              Task<void> task);
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::size_t processed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace daosim::sim

@@ -1,0 +1,25 @@
+#include "sim/sync.h"
+
+#include <exception>
+#include <utility>
+
+namespace daosim::sim {
+
+Task<void> whenAll(Simulation& sim, std::vector<Task<void>> tasks) {
+  std::vector<ProcHandle> procs;
+  procs.reserve(tasks.size());
+  for (auto& t : tasks) procs.push_back(sim.spawn(std::move(t)));
+  tasks.clear();
+
+  std::exception_ptr first_error;
+  for (auto& p : procs) {
+    try {
+      co_await p.join();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace daosim::sim

@@ -1,0 +1,210 @@
+// Synchronization primitives for simulated coroutines.
+//
+// All primitives resume waiters *through the scheduler* (at the current
+// simulated time) rather than inline, which keeps resumption order FIFO and
+// deterministic and bounds native stack depth. Semaphore uses hand-off
+// semantics: release() grants the permit directly to the oldest waiter, so
+// queueing is strictly fair (no barging) — important for the queueing-station
+// models built on top of it.
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace daosim::sim {
+
+/// One-shot event: waiters block until set() is called; waits after set()
+/// complete immediately. set() is idempotent.
+class Event {
+ public:
+  explicit Event(Simulation& sim) : sim_(&sim) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  bool isSet() const noexcept { return set_; }
+
+  void set() {
+    if (set_) return;
+    set_ = true;
+    for (auto h : waiters_) sim_->scheduleAt(sim_->now(), h);
+    waiters_.clear();
+  }
+
+  auto wait() noexcept {
+    struct Awaiter {
+      Event* ev;
+      bool await_ready() const noexcept { return ev->set_; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        ev->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  Simulation* sim_;
+  bool set_ = false;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Counting semaphore with FIFO hand-off.
+class Semaphore {
+ public:
+  Semaphore(Simulation& sim, std::int64_t count)
+      : sim_(&sim), count_(count) {
+    assert(count >= 0);
+  }
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  std::int64_t available() const noexcept { return count_; }
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+  auto acquire() noexcept {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->count_ > 0) {
+          --sem->count_;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) const {
+        sem->waiters_.push_back(h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  /// Returns a permit; if a coroutine is queued, hands it over directly.
+  void release() {
+    if (!waiters_.empty()) {
+      auto h = waiters_.front();
+      waiters_.pop_front();
+      sim_->scheduleAt(sim_->now(), h);
+    } else {
+      ++count_;
+    }
+  }
+
+ private:
+  Simulation* sim_;
+  std::int64_t count_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+class Mutex;
+
+/// RAII lock for sim::Mutex (move-only). Released on destruction.
+class [[nodiscard]] MutexLock {
+ public:
+  MutexLock() noexcept = default;
+  explicit MutexLock(Mutex* m) noexcept : mutex_(m) {}
+
+  MutexLock(MutexLock&& o) noexcept : mutex_(o.mutex_) { o.mutex_ = nullptr; }
+  MutexLock& operator=(MutexLock&& o) noexcept {
+    if (this != &o) {
+      releaseNow();
+      mutex_ = o.mutex_;
+      o.mutex_ = nullptr;
+    }
+    return *this;
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() { releaseNow(); }
+
+  void unlock() { releaseNow(); }
+
+ private:
+  void releaseNow() noexcept;
+
+  Mutex* mutex_ = nullptr;
+};
+
+/// FIFO mutex for simulated coroutines.
+class Mutex {
+ public:
+  explicit Mutex(Simulation& sim) : sem_(sim, 1) {}
+
+  /// `auto lock = co_await mutex.scoped();`
+  Task<MutexLock> scoped() {
+    co_await sem_.acquire();
+    co_return MutexLock(this);
+  }
+
+  Task<void> lock() {
+    co_await sem_.acquire();
+    co_return;
+  }
+  void unlock() { sem_.release(); }
+
+ private:
+  Semaphore sem_;
+};
+
+inline void MutexLock::releaseNow() noexcept {
+  if (mutex_ != nullptr) {
+    mutex_->unlock();
+    mutex_ = nullptr;
+  }
+}
+
+/// Cyclic barrier for a fixed number of participants.
+class Barrier {
+ public:
+  Barrier(Simulation& sim, std::size_t parties)
+      : sim_(&sim), parties_(parties) {
+    assert(parties > 0);
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  auto arriveAndWait() noexcept {
+    struct Awaiter {
+      Barrier* b;
+      bool await_ready() const noexcept { return b->parties_ == 1; }
+      bool await_suspend(std::coroutine_handle<> h) const {
+        if (b->waiters_.size() + 1 == b->parties_) {
+          // Last arrival releases everyone; it does not suspend.
+          for (auto w : b->waiters_) b->sim_->scheduleAt(b->sim_->now(), w);
+          b->waiters_.clear();
+          ++b->generation_;
+          return false;
+        }
+        b->waiters_.push_back(h);
+        return true;
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  Simulation* sim_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+/// Runs tasks concurrently and completes when all finish. If any task fails,
+/// the first failure (in completion order) is rethrown after all complete.
+Task<void> whenAll(Simulation& sim, std::vector<Task<void>> tasks);
+
+}  // namespace daosim::sim

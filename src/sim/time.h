@@ -1,0 +1,39 @@
+// Simulated-time definitions for the discrete-event kernel.
+//
+// All simulated durations and instants are integer nanoseconds. Integer time
+// keeps event ordering exact and reproducible across platforms (no FP drift),
+// which the repeatability tests rely on.
+#pragma once
+
+#include <cstdint>
+
+namespace daosim::sim {
+
+/// A simulated instant or duration, in nanoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Converts a simulated instant to seconds (for reporting only).
+constexpr double toSeconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts seconds to simulated time, rounding to the nearest nanosecond.
+constexpr Time fromSeconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5);
+}
+
+namespace literals {
+
+constexpr Time operator""_ns(unsigned long long v) { return v; }
+constexpr Time operator""_us(unsigned long long v) { return v * kMicrosecond; }
+constexpr Time operator""_ms(unsigned long long v) { return v * kMillisecond; }
+constexpr Time operator""_s(unsigned long long v) { return v * kSecond; }
+
+}  // namespace literals
+
+}  // namespace daosim::sim

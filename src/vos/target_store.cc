@@ -1,0 +1,225 @@
+#include "vos/target_store.h"
+
+#include <cstring>
+
+namespace daosim::vos {
+
+std::string u64Dkey(std::uint64_t v) {
+  std::string s(8, '\0');
+  for (int i = 7; i >= 0; --i) {  // big-endian so keys sort numerically
+    s[static_cast<std::size_t>(i)] = static_cast<char>(v & 0xff);
+    v >>= 8;
+  }
+  return s;
+}
+
+std::uint64_t dkeyU64(std::string_view dkey) {
+  std::uint64_t v = 0;
+  for (char c : dkey.substr(0, 8)) {
+    v = (v << 8) | static_cast<unsigned char>(c);
+  }
+  return v;
+}
+
+TargetStore::ObjectShard& TargetStore::objectShard(ContId c,
+                                                   const ObjectId& o) {
+  return containers_[c].objects[o];
+}
+
+const TargetStore::ObjectShard* TargetStore::findObject(
+    ContId c, const ObjectId& o) const {
+  auto cit = containers_.find(c);
+  if (cit == containers_.end()) return nullptr;
+  auto oit = cit->second.objects.find(o);
+  if (oit == cit->second.objects.end()) return nullptr;
+  return &oit->second;
+}
+
+std::uint64_t TargetStore::valueBytes(const Value& v) const {
+  if (const auto* p = std::get_if<Payload>(&v)) return p->size();
+  return std::get<ExtentTree>(v).bytesStored();
+}
+
+void TargetStore::valuePut(ContId c, const ObjectId& o, std::string_view dkey,
+                           std::string_view akey, Payload value) {
+  auto& entry = objectShard(c, o).dkeys[std::string(dkey)];
+  auto [it, inserted] = entry.akeys.try_emplace(std::string(akey));
+  if (!inserted) bytes_stored_ -= valueBytes(it->second);
+  it->second = std::move(value);  // KV records always retain bytes
+  bytes_stored_ += valueBytes(it->second);
+}
+
+const Payload* TargetStore::valueGet(ContId c, const ObjectId& o,
+                                     std::string_view dkey,
+                                     std::string_view akey) const {
+  const auto* obj = findObject(c, o);
+  if (!obj) return nullptr;
+  auto dit = obj->dkeys.find(dkey);
+  if (dit == obj->dkeys.end()) return nullptr;
+  auto ait = dit->second.akeys.find(akey);
+  if (ait == dit->second.akeys.end()) return nullptr;
+  return std::get_if<Payload>(&ait->second);
+}
+
+bool TargetStore::valueRemove(ContId c, const ObjectId& o,
+                              std::string_view dkey, std::string_view akey) {
+  auto cit = containers_.find(c);
+  if (cit == containers_.end()) return false;
+  auto oit = cit->second.objects.find(o);
+  if (oit == cit->second.objects.end()) return false;
+  auto dit = oit->second.dkeys.find(dkey);
+  if (dit == oit->second.dkeys.end()) return false;
+  auto ait = dit->second.akeys.find(akey);
+  if (ait == dit->second.akeys.end()) return false;
+  bytes_stored_ -= valueBytes(ait->second);
+  dit->second.akeys.erase(ait);
+  if (dit->second.akeys.empty()) oit->second.dkeys.erase(dit);
+  return true;
+}
+
+void TargetStore::extentWrite(ContId c, const ObjectId& o,
+                              std::string_view dkey, std::string_view akey,
+                              std::uint64_t offset, Payload payload) {
+  auto& entry = objectShard(c, o).dkeys[std::string(dkey)];
+  auto [it, inserted] = entry.akeys.try_emplace(std::string(akey));
+  if (inserted || !std::holds_alternative<ExtentTree>(it->second)) {
+    if (!inserted) bytes_stored_ -= valueBytes(it->second);
+    it->second = ExtentTree{};
+  }
+  auto& tree = std::get<ExtentTree>(it->second);
+  bytes_stored_ -= tree.bytesStored();
+  tree.write(offset, ingest(std::move(payload)));
+  bytes_stored_ += tree.bytesStored();
+}
+
+ExtentTree::ReadResult TargetStore::extentRead(ContId c, const ObjectId& o,
+                                               std::string_view dkey,
+                                               std::string_view akey,
+                                               std::uint64_t offset,
+                                               std::uint64_t length) const {
+  const auto* obj = findObject(c, o);
+  if (obj) {
+    auto dit = obj->dkeys.find(dkey);
+    if (dit != obj->dkeys.end()) {
+      auto ait = dit->second.akeys.find(akey);
+      if (ait != dit->second.akeys.end()) {
+        if (const auto* tree = std::get_if<ExtentTree>(&ait->second)) {
+          return tree->read(offset, length);
+        }
+      }
+    }
+  }
+  ExtentTree::ReadResult hole;
+  hole.data = Payload::synthetic(length);
+  hole.bytes_found = 0;
+  return hole;
+}
+
+std::uint64_t TargetStore::extentEnd(ContId c, const ObjectId& o,
+                                     std::string_view dkey,
+                                     std::string_view akey) const {
+  const auto* obj = findObject(c, o);
+  if (!obj) return 0;
+  auto dit = obj->dkeys.find(dkey);
+  if (dit == obj->dkeys.end()) return 0;
+  auto ait = dit->second.akeys.find(akey);
+  if (ait == dit->second.akeys.end()) return 0;
+  if (const auto* tree = std::get_if<ExtentTree>(&ait->second)) {
+    return tree->end();
+  }
+  return 0;
+}
+
+void TargetStore::extentTruncate(ContId c, const ObjectId& o,
+                                 std::string_view dkey, std::string_view akey,
+                                 std::uint64_t size) {
+  auto& entry = objectShard(c, o).dkeys[std::string(dkey)];
+  auto [it, inserted] = entry.akeys.try_emplace(std::string(akey));
+  if (inserted || !std::holds_alternative<ExtentTree>(it->second)) {
+    if (!inserted) bytes_stored_ -= valueBytes(it->second);
+    it->second = ExtentTree{};
+  }
+  auto& tree = std::get<ExtentTree>(it->second);
+  bytes_stored_ -= tree.bytesStored();
+  tree.truncate(size);
+  bytes_stored_ += tree.bytesStored();
+}
+
+std::vector<std::string> TargetStore::listDkeys(ContId c,
+                                                const ObjectId& o) const {
+  std::vector<std::string> out;
+  if (const auto* obj = findObject(c, o)) {
+    out.reserve(obj->dkeys.size());
+    for (const auto& [k, _] : obj->dkeys) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::string> TargetStore::listAkeys(ContId c, const ObjectId& o,
+                                                std::string_view dkey) const {
+  std::vector<std::string> out;
+  if (const auto* obj = findObject(c, o)) {
+    auto dit = obj->dkeys.find(dkey);
+    if (dit != obj->dkeys.end()) {
+      out.reserve(dit->second.akeys.size());
+      for (const auto& [k, _] : dit->second.akeys) out.push_back(k);
+    }
+  }
+  return out;
+}
+
+bool TargetStore::objectExists(ContId c, const ObjectId& o) const {
+  return findObject(c, o) != nullptr;
+}
+
+bool TargetStore::punchObject(ContId c, const ObjectId& o) {
+  auto cit = containers_.find(c);
+  if (cit == containers_.end()) return false;
+  auto oit = cit->second.objects.find(o);
+  if (oit == cit->second.objects.end()) return false;
+  for (const auto& [_, d] : oit->second.dkeys) {
+    for (const auto& [_a, v] : d.akeys) bytes_stored_ -= valueBytes(v);
+  }
+  cit->second.objects.erase(oit);
+  return true;
+}
+
+bool TargetStore::punchDkey(ContId c, const ObjectId& o,
+                            std::string_view dkey) {
+  auto cit = containers_.find(c);
+  if (cit == containers_.end()) return false;
+  auto oit = cit->second.objects.find(o);
+  if (oit == cit->second.objects.end()) return false;
+  auto dit = oit->second.dkeys.find(dkey);
+  if (dit == oit->second.dkeys.end()) return false;
+  for (const auto& [_a, v] : dit->second.akeys) bytes_stored_ -= valueBytes(v);
+  oit->second.dkeys.erase(dit);
+  return true;
+}
+
+void TargetStore::destroyContainer(ContId c) {
+  auto cit = containers_.find(c);
+  if (cit == containers_.end()) return;
+  for (const auto& [_, obj] : cit->second.objects) {
+    for (const auto& [_d, d] : obj.dkeys) {
+      for (const auto& [_a, v] : d.akeys) bytes_stored_ -= valueBytes(v);
+    }
+  }
+  containers_.erase(cit);
+}
+
+std::vector<std::pair<ContId, ObjectId>> TargetStore::listObjects() const {
+  std::vector<std::pair<ContId, ObjectId>> out;
+  for (const auto& [cid, cont] : containers_) {
+    for (const auto& [oid, _] : cont.objects) out.emplace_back(cid, oid);
+  }
+  return out;
+}
+
+std::uint64_t TargetStore::objectCount() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [_, c] : containers_) n += c.objects.size();
+  return n;
+}
+
+}  // namespace daosim::vos

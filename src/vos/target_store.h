@@ -1,0 +1,132 @@
+// Per-target versioned object store (the VOS analogue).
+//
+// One TargetStore exists per DAOS target (and is reused for Lustre OSTs and
+// Ceph OSDs, which store their objects through the same structures). The
+// data model mirrors VOS: container -> object -> dkey -> akey -> value,
+// where a value is either a single atomic payload (KV records) or an extent
+// tree (array records).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "placement/oid.h"
+#include "vos/extent_tree.h"
+#include "vos/payload.h"
+
+namespace daosim::vos {
+
+using ContId = std::uint64_t;
+using placement::ObjectId;
+
+/// Serializes a 64-bit chunk/record index as a dkey (fixed 8-byte key).
+std::string u64Dkey(std::uint64_t v);
+std::uint64_t dkeyU64(std::string_view dkey);
+
+class TargetStore {
+ public:
+  /// `retain_data=false` strips real bytes from *extent* (bulk data)
+  /// payloads on ingest — benchmark mode: paper-scale runs would otherwise
+  /// materialize terabytes. Single-value (KV) records always keep their
+  /// bytes: they are metadata (directory entries, array attributes, dataset
+  /// catalogs) that the layers above must be able to read back.
+  explicit TargetStore(bool retain_data = true)
+      : retain_data_(retain_data) {}
+
+  // --- single-value (KV) records -------------------------------------
+  void valuePut(ContId c, const ObjectId& o, std::string_view dkey,
+                std::string_view akey, Payload value);
+  /// Null if absent.
+  const Payload* valueGet(ContId c, const ObjectId& o, std::string_view dkey,
+                          std::string_view akey) const;
+  bool valueRemove(ContId c, const ObjectId& o, std::string_view dkey,
+                   std::string_view akey);
+
+  // --- extent (array) records -----------------------------------------
+  void extentWrite(ContId c, const ObjectId& o, std::string_view dkey,
+                   std::string_view akey, std::uint64_t offset,
+                   Payload payload);
+  ExtentTree::ReadResult extentRead(ContId c, const ObjectId& o,
+                                    std::string_view dkey,
+                                    std::string_view akey,
+                                    std::uint64_t offset,
+                                    std::uint64_t length) const;
+  /// End offset of the extent tree (0 if absent).
+  std::uint64_t extentEnd(ContId c, const ObjectId& o, std::string_view dkey,
+                          std::string_view akey) const;
+  void extentTruncate(ContId c, const ObjectId& o, std::string_view dkey,
+                      std::string_view akey, std::uint64_t size);
+
+  // --- enumeration and life-cycle --------------------------------------
+  std::vector<std::string> listDkeys(ContId c, const ObjectId& o) const;
+  std::vector<std::string> listAkeys(ContId c, const ObjectId& o,
+                                     std::string_view dkey) const;
+  bool objectExists(ContId c, const ObjectId& o) const;
+  /// Removes the object and all records beneath it (DAOS punch).
+  bool punchObject(ContId c, const ObjectId& o);
+  bool punchDkey(ContId c, const ObjectId& o, std::string_view dkey);
+  void destroyContainer(ContId c);
+
+  // --- enumeration for migration/rebuild --------------------------------
+  /// Every (container, object) pair held by this target.
+  std::vector<std::pair<ContId, ObjectId>> listObjects() const;
+
+  /// A view of one record for copy-out.
+  struct RecordView {
+    const std::string* dkey;
+    const std::string* akey;
+    const Payload* value;     // non-null for single-value records
+    const ExtentTree* tree;   // non-null for extent records
+  };
+  /// Invokes `fn(RecordView)` for every record of the object.
+  template <typename Fn>
+  void forEachRecord(ContId c, const ObjectId& o, Fn&& fn) const {
+    const ObjectShard* obj = findObject(c, o);
+    if (obj == nullptr) return;
+    for (const auto& [dkey, entry] : obj->dkeys) {
+      for (const auto& [akey, value] : entry.akeys) {
+        RecordView view{&dkey, &akey, std::get_if<Payload>(&value),
+                        std::get_if<ExtentTree>(&value)};
+        fn(view);
+      }
+    }
+  }
+
+  // --- accounting -------------------------------------------------------
+  std::uint64_t bytesStored() const noexcept { return bytes_stored_; }
+  std::uint64_t objectCount() const noexcept;
+  std::uint64_t containerCount() const noexcept { return containers_.size(); }
+
+ private:
+  using Value = std::variant<Payload, ExtentTree>;
+  struct DkeyEntry {
+    std::map<std::string, Value, std::less<>> akeys;
+  };
+  struct ObjectShard {
+    std::map<std::string, DkeyEntry, std::less<>> dkeys;
+  };
+  struct ContainerShard {
+    std::unordered_map<ObjectId, ObjectShard> objects;
+  };
+
+  Payload ingest(Payload p) const {
+    return (!retain_data_ && p.hasBytes()) ? p.stripBytes() : std::move(p);
+  }
+
+  ObjectShard& objectShard(ContId c, const ObjectId& o);
+  const ObjectShard* findObject(ContId c, const ObjectId& o) const;
+
+  std::uint64_t valueBytes(const Value& v) const;
+
+  bool retain_data_;
+  std::unordered_map<ContId, ContainerShard> containers_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+}  // namespace daosim::vos

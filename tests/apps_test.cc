@@ -1,0 +1,262 @@
+// Integration tests for the benchmark applications: every IOR API, Field
+// I/O, fdb-hammer on all three stores, the SPMD harness semantics, and a
+// headline calibration check against the paper's §III-B numbers.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "apps/fdb.h"
+#include "apps/fieldio.h"
+#include "apps/ior.h"
+#include "apps/runner.h"
+#include "apps/sweep.h"
+#include "apps/testbed.h"
+
+namespace daosim::apps {
+namespace {
+
+using placement::ObjClass;
+using hw::kKiB;
+using hw::kMiB;
+
+DaosTestbed::Options smallDaos() {
+  DaosTestbed::Options opt;
+  opt.server_nodes = 2;
+  opt.client_nodes = 2;
+  return opt;
+}
+
+IorConfig smallIor() {
+  IorConfig cfg;
+  cfg.transfer = 256 * kKiB;
+  cfg.ops = 20;
+  return cfg;
+}
+
+class IorApiTest : public ::testing::TestWithParam<IorDaos::Api> {};
+
+TEST_P(IorApiTest, RunsAndAccountsAllBytes) {
+  DaosTestbed tb(smallDaos());
+  IorDaos bench(tb, GetParam(), smallIor());
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
+
+  const std::uint64_t expected = 4ULL * 20 * 256 * kKiB;
+  EXPECT_EQ(r.write().bytes, expected);
+  EXPECT_EQ(r.read().bytes, expected);
+  EXPECT_EQ(r.write().ops, 80u);
+  EXPECT_GT(r.write().gibps(), 0.05);
+  EXPECT_GT(r.read().gibps(), 0.05);
+  // Write phase strictly precedes read phase (barrier between them).
+  EXPECT_LE(r.write().last_end, r.read().first_start);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApis, IorApiTest,
+    ::testing::Values(IorDaos::Api::kDaosArray, IorDaos::Api::kDfs,
+                      IorDaos::Api::kDfuse, IorDaos::Api::kDfuseIl,
+                      IorDaos::Api::kHdf5DfuseIl, IorDaos::Api::kHdf5Daos),
+    [](const auto& info) {
+      switch (info.param) {
+        case IorDaos::Api::kDaosArray:
+          return "libdaos";
+        case IorDaos::Api::kDfs:
+          return "libdfs";
+        case IorDaos::Api::kDfuse:
+          return "dfuse";
+        case IorDaos::Api::kDfuseIl:
+          return "dfuseIL";
+        case IorDaos::Api::kHdf5DfuseIl:
+          return "hdf5dfuse";
+        case IorDaos::Api::kHdf5Daos:
+          return "hdf5daos";
+      }
+      return "unknown";
+    });
+
+TEST(IorDaosTest, BandwidthGrowsWithProcessCount) {
+  // Runs must be long enough to exceed the devices' burst-absorption
+  // window, like the paper's 10k-op runs; short bursts ride the SSD cache.
+  double prev = 0;
+  for (int ppn : {1, 4, 16}) {
+    DaosTestbed tb(smallDaos());
+    IorConfig cfg;
+    cfg.transfer = 1 * kMiB;
+    cfg.ops = 200;
+    IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+    RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), ppn, bench);
+    EXPECT_GT(r.write().gibps(), prev * 0.8);  // grows, then plateaus
+    prev = r.write().gibps();
+  }
+  // 2 servers saturate at ~7.7 GiB/s write; 32 procs should get close.
+  EXPECT_GT(prev, 5.8);
+}
+
+TEST(IorDaosTest, StoredBytesMatchWrites) {
+  DaosTestbed tb(smallDaos());
+  IorConfig cfg = smallIor();
+  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  const std::uint64_t before = tb.daos().bytesStored();
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(1), 2, bench);
+  const std::uint64_t stored = tb.daos().bytesStored() - before;
+  EXPECT_GE(stored, r.write().bytes);
+  EXPECT_LT(stored, r.write().bytes + 4096);  // plus array metadata records
+}
+
+TEST(IorDaosTest, ErasureCodedWritesCost50PercentMore) {
+  DaosTestbed tb(smallDaos());
+  IorConfig cfg = smallIor();
+  cfg.transfer = 1 * kMiB;
+  cfg.oclass = ObjClass::EC_2P1GX;
+  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  const std::uint64_t before = tb.daos().bytesStored();
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(1), 2, bench);
+  const std::uint64_t stored = tb.daos().bytesStored() - before;
+  EXPECT_NEAR(static_cast<double>(stored),
+              1.5 * static_cast<double>(r.write().bytes),
+              0.01 * static_cast<double>(stored));
+}
+
+TEST(FieldIoTest, RunsWithIndexOps) {
+  DaosTestbed tb(smallDaos());
+  FieldIoConfig cfg;
+  cfg.field_size = 512 * kKiB;
+  cfg.fields = 15;
+  FieldIo bench(tb, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
+  EXPECT_EQ(r.write().bytes, 4ULL * 15 * 512 * kKiB);
+  EXPECT_EQ(r.read().bytes, r.write().bytes);
+  EXPECT_GT(r.read().gibps(), 0.05);
+}
+
+TEST(FdbVsFieldIo, FdbReadsFasterThanFieldIoSizeChecks) {
+  // Same workload shape, one process: fdb-hammer skips array create,
+  // metadata open and size probes, so its per-process read rate is higher.
+  double fieldio_read = 0, fdb_read = 0;
+  {
+    DaosTestbed tb(smallDaos());
+    FieldIoConfig cfg;
+    cfg.fields = 30;
+    FieldIo bench(tb, cfg);
+    fieldio_read =
+        runSpmd(tb.sim(), tb.clientSubset(1), 1, bench).read().gibps();
+  }
+  {
+    DaosTestbed tb(smallDaos());
+    FdbConfig cfg;
+    cfg.fields = 30;
+    FdbDaos bench(tb, cfg);
+    fdb_read = runSpmd(tb.sim(), tb.clientSubset(1), 1, bench).read().gibps();
+  }
+  EXPECT_GT(fdb_read, fieldio_read * 1.05);
+}
+
+TEST(FdbLustreTest, WriteOptimizedReadMetadataBound) {
+  LustreTestbed::Options opt;
+  opt.oss_nodes = 2;
+  opt.client_nodes = 2;
+  LustreTestbed tb(opt);
+  FdbConfig cfg;
+  cfg.fields = 40;
+  FdbLustre bench(tb, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
+  EXPECT_EQ(r.write().bytes, 4ULL * 40 * kMiB);
+  EXPECT_EQ(r.read().bytes, r.write().bytes);
+  // Buffered large-block writes beat per-field open/read/close reads.
+  EXPECT_GT(r.write().gibps(), r.read().gibps());
+}
+
+TEST(FdbRadosTest, RunsOnCeph) {
+  CephTestbed::Options opt;
+  opt.osd_nodes = 2;
+  opt.client_nodes = 2;
+  CephTestbed tb(opt);
+  FdbConfig cfg;
+  cfg.fields = 80;
+  FdbRados bench(tb, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 16, bench);
+  EXPECT_EQ(r.write().bytes, 32ULL * 80 * kMiB);
+  // At saturation, write amplification caps writes (~5.3 GiB/s on 2 nodes)
+  // below the read ceiling.
+  EXPECT_GT(r.read().gibps(), r.write().gibps());
+  EXPECT_LT(r.write().gibps(), 5.5);
+}
+
+TEST(IorLustreTest, LargeIoApproachesHardware) {
+  LustreTestbed::Options opt;
+  opt.oss_nodes = 2;
+  opt.client_nodes = 2;
+  LustreTestbed tb(opt);
+  IorConfig cfg;
+  cfg.ops = 100;
+  IorLustre bench(tb, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 32, bench);
+  // 2 OSS nodes: ~7.7 GiB/s write ideal, network-bound ~12.5 read ideal.
+  EXPECT_GT(r.write().gibps(), 5.5);
+  EXPECT_GT(r.read().gibps(), 8.0);
+}
+
+TEST(IorRadosTest, ObjectPerProcessUnderperforms) {
+  CephTestbed::Options opt;
+  opt.osd_nodes = 2;
+  opt.client_nodes = 2;
+  CephTestbed tb(opt);
+  IorConfig cfg;
+  cfg.ops = 100;  // the paper's cap to stay within 132 MiB objects
+  IorRados bench(tb, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 8, bench);
+  // 16 proc-objects over 32 OSDs: imbalance + BlueStore overheads keep
+  // write bandwidth clearly under the 7.7 GiB/s hardware bound.
+  EXPECT_LT(r.write().gibps(), 5.0);
+  EXPECT_GT(r.write().gibps(), 0.5);
+}
+
+TEST(RunnerTest, ProcessFailurePropagates) {
+  class Failing : public SpmdBenchmark {
+   public:
+    sim::Task<void> process(ProcContext ctx) override {
+      co_await ctx.sim->delay(sim::kMillisecond);
+      if (ctx.rank == 1) throw std::runtime_error("rank 1 exploded");
+    }
+  };
+  DaosTestbed tb(smallDaos());
+  Failing bench;
+  EXPECT_THROW(runSpmd(tb.sim(), tb.clientSubset(2), 2, bench),
+               std::runtime_error);
+}
+
+TEST(SweepTest, GridAndScaling) {
+  auto grid = clientNodeGrid(16, 8);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_EQ(grid.front().client_nodes, 1);
+  EXPECT_EQ(grid.back().client_nodes, 16);
+  EXPECT_EQ(grid.back().totalProcs(), 128);
+
+  auto cross = crossGrid({1, 2}, {4, 8});
+  EXPECT_EQ(cross.size(), 4u);
+
+  EXPECT_EQ(scaledOps(1, 1000, 40000), 1000u);    // capped at base
+  EXPECT_EQ(scaledOps(512, 1000, 40000), 78u);    // scaled down
+  EXPECT_EQ(scaledOps(4000, 1000, 40000), 50u);   // floor
+}
+
+// Headline calibration: the paper's 16-server DAOS system reaches ~60 GiB/s
+// write and ~90 GiB/s read through libdaos with enough clients (Fig. 1),
+// against ideals of 61.76 (SSD) and 100 (client NIC).
+TEST(CalibrationTest, SixteenServerHeadlineNumbers) {
+  DaosTestbed::Options opt;
+  opt.server_nodes = 16;
+  opt.client_nodes = 16;
+  opt.with_dfuse = false;
+  DaosTestbed tb(opt);
+  IorConfig cfg;
+  cfg.ops = 150;
+  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  RunResult r = runSpmd(tb.sim(), tb.clientSubset(16), 16, bench);
+  EXPECT_GT(r.write().gibps(), 48.0);
+  EXPECT_LT(r.write().gibps(), 63.0);
+  EXPECT_GT(r.read().gibps(), 80.0);
+  EXPECT_LT(r.read().gibps(), 101.0);
+}
+
+}  // namespace
+}  // namespace daosim::apps

@@ -1,0 +1,392 @@
+// Tests for libdfs (namespace semantics, file I/O, symlinks) and the POSIX
+// access paths (direct DFS, DFUSE, DFUSE + interception library), including
+// the relative-cost relations the paper's Fig. 1-2 rest on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "daos/client.h"
+#include "daos/system.h"
+#include "dfs/dfs.h"
+#include "hw/cluster.h"
+#include "posix/dfuse.h"
+#include "posix/vfs.h"
+#include "sim/simulation.h"
+
+namespace daosim {
+namespace {
+
+using daos::Client;
+using daos::Container;
+using daos::DaosSystem;
+using posix::DfsVfs;
+using posix::DfuseConfig;
+using posix::DfuseDaemon;
+using posix::DfuseVfs;
+using posix::InterceptVfs;
+using posix::OpenFlags;
+using sim::Task;
+using sim::Time;
+using vos::Payload;
+using namespace sim::literals;
+using hw::kKiB;
+using hw::kMiB;
+
+TEST(SplitPath, Basics) {
+  EXPECT_EQ(dfs::splitPath("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(dfs::splitPath("a//b/"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(dfs::splitPath("/").empty());
+  EXPECT_TRUE(dfs::splitPath("").empty());
+}
+
+class DfsTest : public ::testing::Test {
+ protected:
+  DfsTest() : cluster_(sim_) {
+    auto servers = cluster_.addNodes(hw::NodeSpec::server(), 2);
+    client_node_ = cluster_.addNode(hw::NodeSpec::client());
+    system_ = std::make_unique<DaosSystem>(cluster_, servers);
+    client_ = std::make_unique<Client>(*system_, client_node_, 1);
+  }
+
+  /// Runs body(FileSystem&) as a simulated process with a mounted DFS.
+  template <typename Body>
+  void runMounted(Body body) {
+    auto h = sim_.spawn([](Client& c, Body body) -> Task<void> {
+      co_await c.poolConnect();
+      Container cont = co_await c.contCreate("posix");
+      dfs::FileSystem fs = co_await dfs::FileSystem::mount(c, cont);
+      co_await body(c, fs);
+    }(*client_, std::move(body)));
+    sim_.run();
+    if (h.failed()) {
+      sim_.spawn([](sim::ProcHandle h) -> Task<void> { co_await h.join(); }(h));
+      EXPECT_NO_THROW(sim_.run());
+      FAIL() << "simulated process failed";
+    }
+  }
+
+  sim::Simulation sim_;
+  hw::Cluster cluster_;
+  hw::NodeId client_node_{};
+  std::unique_ptr<DaosSystem> system_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(DfsTest, MkdirLookupReaddir) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    co_await fs.mkdir("/data");
+    co_await fs.mkdir("/data/run1");
+    co_await fs.mkdirs("/data/deep/nested/dirs");
+
+    auto e = co_await fs.lookup("/data/run1");
+    EXPECT_TRUE(e.has_value());
+    EXPECT_TRUE(e.has_value() && e->type == dfs::EntryType::kDirectory);
+
+    auto names = co_await fs.readdir("/data");
+    EXPECT_EQ(names, (std::vector<std::string>{"deep", "run1"}));
+
+    auto missing = co_await fs.lookup("/data/nope");
+    EXPECT_FALSE(missing.has_value());
+
+    bool threw = false;
+    try {
+      co_await fs.mkdir("/data");
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  });
+}
+
+TEST_F(DfsTest, FileWriteReadRoundTrip) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    co_await fs.mkdir("/d");
+    dfs::File f = co_await fs.open("/d/file.bin", {.create = true});
+    Payload data = vos::patternPayload(3 * kMiB + 12345, 7);  // spans chunks
+    co_await fs.write(f, 0, data);
+    EXPECT_EQ(co_await fs.size(f), 3 * kMiB + 12345);
+
+    dfs::File g = co_await fs.open("/d/file.bin", {});
+    Payload back = co_await fs.read(g, 0, 3 * kMiB + 12345);
+    EXPECT_EQ(back, data);
+
+    auto st = co_await fs.stat("/d/file.bin");
+    EXPECT_EQ(st.size, 3 * kMiB + 12345);
+    EXPECT_TRUE(st.type == dfs::EntryType::kFile);
+  });
+}
+
+TEST_F(DfsTest, OpenSemantics) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    bool threw = false;
+    try {
+      co_await fs.open("/missing", {});
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+
+    dfs::File f = co_await fs.open("/x", {.create = true});
+    co_await fs.write(f, 0, Payload::fromString("hello"));
+
+    threw = false;
+    try {
+      co_await fs.open("/x", {.create = true, .exclusive = true});
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+
+    // O_TRUNC empties the file.
+    dfs::File t = co_await fs.open("/x", {.create = true, .truncate = true});
+    EXPECT_EQ(co_await fs.size(t), 0u);
+  });
+}
+
+TEST_F(DfsTest, SymlinksResolveAndLoopIsDetected) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    co_await fs.mkdir("/real");
+    dfs::File f = co_await fs.open("/real/target", {.create = true});
+    co_await fs.write(f, 0, Payload::fromString("via-link"));
+
+    co_await fs.symlink("/real", "/alias");
+    Payload via = co_await fs.read(
+        *std::make_unique<dfs::File>(
+            co_await fs.open("/alias/target", {})),
+        0, 8);
+    EXPECT_EQ(via.toString(), "via-link");
+
+    EXPECT_EQ(co_await fs.readlink("/alias"), "/real");
+
+    // Symlink loop must throw, not hang.
+    co_await fs.symlink("/loop2", "/loop1");
+    co_await fs.symlink("/loop1", "/loop2");
+    bool threw = false;
+    try {
+      co_await fs.lookup("/loop1/x");
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+  });
+}
+
+TEST_F(DfsTest, UnlinkAndRename) {
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    co_await fs.mkdir("/dir");
+    dfs::File f = co_await fs.open("/dir/a", {.create = true});
+    co_await fs.write(f, 0, vos::patternPayload(64 * kKiB, 1));
+
+    bool threw = false;
+    try {
+      co_await fs.unlink("/dir");  // not empty
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+
+    co_await fs.rename("/dir/a", "/dir/b");
+    EXPECT_FALSE((co_await fs.lookup("/dir/a")).has_value());
+    auto st = co_await fs.stat("/dir/b");
+    EXPECT_EQ(st.size, 64 * kKiB);
+
+    co_await fs.unlink("/dir/b");
+    EXPECT_FALSE((co_await fs.lookup("/dir/b")).has_value());
+    co_await fs.unlink("/dir");  // now empty
+    EXPECT_FALSE((co_await fs.lookup("/dir")).has_value());
+    EXPECT_EQ(c.system().bytesStored(), 12u);  // superblock config record
+  });
+}
+
+TEST_F(DfsTest, RemountSeesPersistedNamespace) {
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    co_await fs.mkdir("/persist");
+    dfs::File f = co_await fs.open("/persist/file", {.create = true});
+    co_await fs.write(f, 0, Payload::fromString("durable"));
+
+    Container cont2 = co_await c.contOpen("posix");
+    dfs::FileSystem fs2 = co_await dfs::FileSystem::mount(c, cont2);
+    dfs::File g = co_await fs2.open("/persist/file", {});
+    EXPECT_EQ((co_await fs2.read(g, 0, 7)).toString(), "durable");
+  });
+}
+
+// --- POSIX access paths ---------------------------------------------------
+
+class PosixPathsTest : public DfsTest {};
+
+TEST_F(PosixPathsTest, DfsVfsBasicIo) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    DfsVfs vfs(fs);
+    posix::Fd fd = co_await vfs.open("/f", OpenFlags::writeCreate());
+    co_await vfs.write(fd, vos::patternPayload(1000, 1));
+    co_await vfs.write(fd, vos::patternPayload(1000, 2));
+    EXPECT_EQ(vfs.tell(fd), 2000u);
+    co_await vfs.close(fd);
+
+    posix::Fd rd = co_await vfs.open("/f", OpenFlags::readOnly());
+    Payload a = co_await vfs.read(rd, 1000);
+    Payload b = co_await vfs.read(rd, 1000);
+    EXPECT_EQ(a, vos::patternPayload(1000, 1));
+    EXPECT_EQ(b, vos::patternPayload(1000, 2));
+    auto st = co_await vfs.fstat(rd);
+    EXPECT_EQ(st.size, 2000u);
+    co_await vfs.close(rd);
+  });
+}
+
+TEST_F(PosixPathsTest, AppendModePositionsAtEof) {
+  runMounted([](Client&, dfs::FileSystem& fs) -> Task<void> {
+    DfsVfs vfs(fs);
+    posix::Fd fd = co_await vfs.open("/log", OpenFlags::writeCreate());
+    co_await vfs.write(fd, Payload::fromString("first"));
+    co_await vfs.close(fd);
+
+    posix::Fd ap = co_await vfs.open("/log", OpenFlags::appendCreate());
+    EXPECT_EQ(vfs.tell(ap), 5u);
+    co_await vfs.write(ap, Payload::fromString("second"));
+    co_await vfs.close(ap);
+
+    auto st = co_await vfs.stat("/log");
+    EXPECT_EQ(st.size, 11u);
+  });
+}
+
+TEST_F(PosixPathsTest, DfuseRoundTripAndCostOrdering) {
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    DfuseDaemon daemon(c.sim(), fs, DfuseConfig{});
+    DfuseVfs dfuse(daemon);
+    DfsVfs direct(fs);
+
+    // Round-trip through FUSE.
+    posix::Fd fd = co_await dfuse.open("/via-fuse", OpenFlags::writeCreate());
+    co_await dfuse.pwrite(fd, 0, vos::patternPayload(64 * kKiB, 3));
+    Payload back = co_await dfuse.pread(fd, 0, 64 * kKiB);
+    EXPECT_EQ(back, vos::patternPayload(64 * kKiB, 3));
+    co_await dfuse.close(fd);
+
+    // 1 KiB ops: FUSE path must be measurably slower than direct libdfs.
+    posix::Fd d1 = co_await direct.open("/d1", OpenFlags::writeCreate());
+    Time t0 = c.sim().now();
+    for (int i = 0; i < 50; ++i) {
+      co_await direct.pwrite(d1, static_cast<std::uint64_t>(i) * kKiB,
+                             Payload::synthetic(kKiB));
+    }
+    const Time direct_span = c.sim().now() - t0;
+
+    posix::Fd f1 = co_await dfuse.open("/f1", OpenFlags::writeCreate());
+    t0 = c.sim().now();
+    for (int i = 0; i < 50; ++i) {
+      co_await dfuse.pwrite(f1, static_cast<std::uint64_t>(i) * kKiB,
+                            Payload::synthetic(kKiB));
+    }
+    const Time fuse_span = c.sim().now() - t0;
+    EXPECT_GT(fuse_span, direct_span + 50 * 50 * sim::kMicrosecond);
+  });
+}
+
+TEST_F(PosixPathsTest, InterceptionBypassesDaemonForData) {
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    DfuseDaemon daemon(c.sim(), fs, DfuseConfig{});
+    InterceptVfs il(daemon, fs);
+    DfuseVfs plain(daemon);
+
+    posix::Fd a = co_await il.open("/ila", OpenFlags::writeCreate());
+    posix::Fd b = co_await plain.open("/plainb", OpenFlags::writeCreate());
+
+    const std::uint64_t before = daemon.threads().ops();
+    Time t0 = c.sim().now();
+    for (int i = 0; i < 20; ++i) {
+      co_await il.pwrite(a, static_cast<std::uint64_t>(i) * kKiB,
+                         Payload::synthetic(kKiB));
+    }
+    const Time il_span = c.sim().now() - t0;
+    // Data ops never touched the daemon.
+    EXPECT_EQ(daemon.threads().ops(), before);
+
+    t0 = c.sim().now();
+    for (int i = 0; i < 20; ++i) {
+      co_await plain.pwrite(b, static_cast<std::uint64_t>(i) * kKiB,
+                            Payload::synthetic(kKiB));
+    }
+    const Time fuse_span = c.sim().now() - t0;
+    EXPECT_GT(fuse_span, il_span);
+
+    // Reads through IL return the data written through IL.
+    Payload p = co_await il.pread(a, 0, kKiB);
+    EXPECT_EQ(p.size(), kKiB);
+
+    // ... and the namespaces agree (same backing DFS).
+    auto st = co_await plain.stat("/ila");
+    EXPECT_EQ(st.size, 20 * kKiB);
+  });
+}
+
+TEST_F(PosixPathsTest, DfuseCachesServeRepeatAccesses) {
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    DfuseConfig cached;
+    cached.attr_cache = true;
+    cached.dentry_cache = true;
+    cached.data_cache = true;
+    DfuseDaemon daemon(c.sim(), fs, cached);
+    DfuseVfs vfs(daemon);
+
+    posix::Fd fd = co_await vfs.open("/cached", OpenFlags::writeCreate());
+    co_await vfs.pwrite(fd, 0, vos::patternPayload(64 * kKiB, 9));
+
+    // First stat populates, second hits the attr cache (much cheaper).
+    (void)co_await vfs.stat("/cached");
+    Time t0 = c.sim().now();
+    (void)co_await vfs.stat("/cached");
+    EXPECT_LT(c.sim().now() - t0, 10_us);
+
+    // Repeat read of the same block: page-cache hit, no backend RPC.
+    (void)co_await vfs.pread(fd, 0, 64 * kKiB);
+    const std::uint64_t msgs_before = c.system().cluster().messages();
+    Payload hit = co_await vfs.pread(fd, 0, 64 * kKiB);
+    EXPECT_EQ(c.system().cluster().messages(), msgs_before);
+    EXPECT_EQ(hit, vos::patternPayload(64 * kKiB, 9));
+    EXPECT_GT(daemon.cacheHits(), 0u);
+
+    // Writes invalidate: after truncate, stat misses the cache again.
+    co_await vfs.truncate("/cached", 0);
+    auto st = co_await vfs.stat("/cached");
+    EXPECT_EQ(st.size, 0u);
+  });
+}
+
+TEST_F(PosixPathsTest, LargeIoOverheadIsSmallThroughDfuse) {
+  // The Fig. 1 observation: at 1 MiB I/O the interception library brings
+  // little benefit because FUSE overhead is amortized by transfer time.
+  runMounted([](Client& c, dfs::FileSystem& fs) -> Task<void> {
+    DfuseDaemon daemon(c.sim(), fs, DfuseConfig{});
+    DfuseVfs dfuse(daemon);
+    InterceptVfs il(daemon, fs);
+
+    posix::Fd a = co_await dfuse.open("/big1", OpenFlags::writeCreate());
+    Time t0 = c.sim().now();
+    for (int i = 0; i < 8; ++i) {
+      co_await dfuse.pwrite(a, static_cast<std::uint64_t>(i) * kMiB,
+                            Payload::synthetic(kMiB));
+    }
+    const double fuse_span = static_cast<double>(c.sim().now() - t0);
+
+    posix::Fd b = co_await il.open("/big2", OpenFlags::writeCreate());
+    t0 = c.sim().now();
+    for (int i = 0; i < 8; ++i) {
+      co_await il.pwrite(b, static_cast<std::uint64_t>(i) * kMiB,
+                         Payload::synthetic(kMiB));
+    }
+    const double il_span = static_cast<double>(c.sim().now() - t0);
+    // Unloaded latency view: FUSE adds crossings + a data copy, ~25-30% on
+    // an unloaded 1 MiB op. At saturation (Fig. 1) the server is the
+    // bottleneck and the two APIs converge — the fig1 bench verifies that.
+    EXPECT_LT(fuse_span / il_span, 1.4);
+    EXPECT_GT(fuse_span, il_span);  // but strictly slower
+  });
+}
+
+}  // namespace
+}  // namespace daosim

@@ -1,0 +1,201 @@
+// Tests for the hardware substrate: device bandwidth/latency math, NIC
+// contention, fabric transfers and the RPC model. Includes calibration
+// checks against the paper's §III-A raw measurements.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/device.h"
+#include "hw/spec.h"
+#include "net/rpc.h"
+#include "sim/simulation.h"
+#include "sim/sync.h"
+
+namespace daosim {
+namespace {
+
+using hw::kGiB;
+using hw::kKiB;
+using hw::kMiB;
+using sim::Task;
+using sim::Time;
+using namespace sim::literals;
+
+TEST(Spec, TransferTimeMath) {
+  // 1 GiB at 1 GiB/s = 1 s.
+  EXPECT_EQ(hw::transferTime(kGiB, 1.0), sim::kSecond);
+  // 1 MiB at 6.25 GiB/s = 156.25 us.
+  EXPECT_NEAR(static_cast<double>(hw::transferTime(kMiB, 6.25)), 156250, 50);
+  EXPECT_EQ(hw::transferTime(123, 0.0), 0u);
+}
+
+TEST(NvmeDevice, SequentialWriteBandwidthMatchesSpec) {
+  sim::Simulation sim;
+  hw::NvmeSpec spec;
+  hw::NvmeDevice dev(sim, spec, "d0");
+  const int ops = 100;
+  const std::uint64_t block = 100 * kMiB;  // the paper's dd block size
+  sim.spawn([](hw::NvmeDevice& d, int n, std::uint64_t b) -> Task<void> {
+    for (int i = 0; i < n; ++i) co_await d.write(b);
+  }(dev, ops, block));
+  sim.run();
+  const double gibps = static_cast<double>(ops * block) /
+                       static_cast<double>(kGiB) / sim::toSeconds(sim.now());
+  // Large blocks: latency overhead is negligible, bandwidth ~= spec.
+  EXPECT_NEAR(gibps, spec.write_gibps, 0.01 * spec.write_gibps);
+}
+
+TEST(NvmeDevice, SixteenDrivesAggregateToPaperNumbers) {
+  // Reproduces the §III-A dd experiment: 16 drives in parallel, write then
+  // read; expect ~3.86 GiB/s aggregate write and ~7 GiB/s aggregate read.
+  sim::Simulation sim;
+  std::vector<std::unique_ptr<hw::NvmeDevice>> drives;
+  for (int i = 0; i < 16; ++i) {
+    drives.push_back(std::make_unique<hw::NvmeDevice>(
+        sim, hw::NvmeSpec{}, "d" + std::to_string(i)));
+  }
+  const std::uint64_t block = 100 * kMiB;
+  const int blocks = 50;
+  for (auto& d : drives) {
+    sim.spawn([](hw::NvmeDevice& dev, int n, std::uint64_t b) -> Task<void> {
+      for (int i = 0; i < n; ++i) co_await dev.write(b);
+    }(*d, blocks, block));
+  }
+  sim.run();
+  const Time write_span = sim.now();
+  double agg_write = 16.0 * blocks * static_cast<double>(block) /
+                     static_cast<double>(kGiB) / sim::toSeconds(write_span);
+  EXPECT_NEAR(agg_write, 3.86, 0.05);
+
+  const Time read_start = sim.now();
+  for (auto& d : drives) {
+    sim.spawn([](hw::NvmeDevice& dev, int n, std::uint64_t b) -> Task<void> {
+      for (int i = 0; i < n; ++i) co_await dev.read(b);
+    }(*d, blocks, block));
+  }
+  sim.run();
+  double agg_read = 16.0 * blocks * static_cast<double>(block) /
+                    static_cast<double>(kGiB) /
+                    sim::toSeconds(sim.now() - read_start);
+  EXPECT_NEAR(agg_read, 7.0, 0.1);
+}
+
+TEST(NvmeDevice, SmallOpsAreLatencyBound) {
+  sim::Simulation sim;
+  hw::NvmeDevice dev(sim, hw::NvmeSpec{}, "d0");
+  const int ops = 1000;
+  sim.spawn([](hw::NvmeDevice& d, int n) -> Task<void> {
+    for (int i = 0; i < n; ++i) co_await d.read(4 * kKiB);
+  }(dev, ops));
+  sim.run();
+  const double iops = ops / sim::toSeconds(sim.now());
+  // Read latency 15us + ~9us transfer -> ~41k IOPS.
+  EXPECT_GT(iops, 30e3);
+  EXPECT_LT(iops, 70e3);
+}
+
+TEST(NvmeDevice, FailureInjection) {
+  sim::Simulation sim;
+  hw::NvmeDevice dev(sim, hw::NvmeSpec{}, "d0");
+  dev.fail();
+  bool threw = false;
+  sim.spawn([](hw::NvmeDevice& d, bool& t) -> Task<void> {
+    try {
+      co_await d.write(kMiB);
+    } catch (const hw::DeviceFailed&) {
+      t = true;
+    }
+  }(dev, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+  dev.recover();
+  EXPECT_FALSE(dev.failed());
+}
+
+TEST(Cluster, PointToPointBandwidthMatchesNic) {
+  // iperf-style: one stream of large messages; expect ~6.25 GiB/s.
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto a = cluster.addNode(hw::NodeSpec::client());
+  auto b = cluster.addNode(hw::NodeSpec::client());
+  const int msgs = 200;
+  const std::uint64_t sz = 8 * kMiB;
+  sim.spawn([](hw::Cluster& c, hw::NodeId s, hw::NodeId d, int n,
+               std::uint64_t sz) -> Task<void> {
+    for (int i = 0; i < n; ++i) co_await c.send(s, d, sz);
+  }(cluster, a, b, msgs, sz));
+  sim.run();
+  const double gibps = static_cast<double>(msgs * sz) /
+                       static_cast<double>(kGiB) / sim::toSeconds(sim.now());
+  EXPECT_NEAR(gibps, 6.25, 0.15);
+}
+
+TEST(Cluster, ManyToOneSaturatesReceiverNic) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  std::vector<hw::NodeId> sources;
+  for (int i = 0; i < 4; ++i) sources.push_back(cluster.addNode(hw::NodeSpec::client()));
+  auto sink = cluster.addNode(hw::NodeSpec::client());
+  const int msgs = 50;
+  const std::uint64_t sz = 8 * kMiB;
+  for (auto s : sources) {
+    sim.spawn([](hw::Cluster& c, hw::NodeId src, hw::NodeId dst, int n,
+                 std::uint64_t sz) -> Task<void> {
+      for (int i = 0; i < n; ++i) co_await c.send(src, dst, sz);
+    }(cluster, s, sink, msgs, sz));
+  }
+  sim.run();
+  const double gibps = 4.0 * msgs * static_cast<double>(sz) /
+                       static_cast<double>(kGiB) / sim::toSeconds(sim.now());
+  // Aggregate is pinned at the single receiver NIC despite 4 senders.
+  EXPECT_NEAR(gibps, 6.25, 0.2);
+}
+
+TEST(Cluster, LoopbackSkipsNic) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto a = cluster.addNode(hw::NodeSpec::client());
+  sim.spawn([](hw::Cluster& c, hw::NodeId n) -> Task<void> {
+    co_await c.send(n, n, kGiB);
+  }(cluster, a));
+  sim.run();
+  EXPECT_LT(sim.now(), 10_us);
+  EXPECT_EQ(cluster.node(a).tx().ops(), 0u);
+}
+
+TEST(Rpc, RoundTripLatency) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto c = cluster.addNode(hw::NodeSpec::client());
+  auto s = cluster.addNode(hw::NodeSpec::server());
+  sim.spawn([](sim::Simulation& sm, hw::Cluster& cl, hw::NodeId c,
+               hw::NodeId s) -> Task<void> {
+    co_await net::request(cl, c, s, net::kSmallRequest);
+    co_await sm.delay(5_us);  // server-side service
+    co_await net::respond(cl, s, c, 0);
+  }(sim, cluster, c, s));
+  sim.run();
+  // 2 fabric hops (8us each) + 2 small serializations + 5us service + NIC
+  // per-message costs: ~30us total.
+  EXPECT_GT(sim.now(), 20_us);
+  EXPECT_LT(sim.now(), 45_us);
+}
+
+TEST(Rpc, BulkResponseChargedOnReturnPath) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto c = cluster.addNode(hw::NodeSpec::client());
+  auto s = cluster.addNode(hw::NodeSpec::server());
+  sim.spawn([](hw::Cluster& cl, hw::NodeId c, hw::NodeId s) -> Task<void> {
+    co_await net::request(cl, c, s, net::kSmallRequest);
+    co_await net::respond(cl, s, c, 64 * kMiB);
+  }(cluster, c, s));
+  sim.run();
+  // 64 MiB at 6.25 GiB/s = ~10ms dominates.
+  EXPECT_GT(sim.now(), 10_ms);
+  EXPECT_LT(sim.now(), 25_ms);
+}
+
+}  // namespace
+}  // namespace daosim

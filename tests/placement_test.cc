@@ -1,0 +1,176 @@
+// Tests for OID encoding, object classes and placement layouts, including
+// distribution-uniformity properties across classes (parameterized).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "placement/layout.h"
+#include "placement/objclass.h"
+#include "placement/oid.h"
+
+namespace daosim::placement {
+namespace {
+
+TEST(ObjClassSpec, ShardingClasses) {
+  EXPECT_EQ(classSpec(ObjClass::S1).groups, 1);
+  EXPECT_EQ(classSpec(ObjClass::S4).groups, 4);
+  EXPECT_EQ(classSpec(ObjClass::SX).groups, -1);
+  EXPECT_EQ(classSpec(ObjClass::S1).groupSize(), 1);
+  EXPECT_FALSE(classSpec(ObjClass::SX).erasureCoded());
+  EXPECT_FALSE(classSpec(ObjClass::SX).replicated());
+}
+
+TEST(ObjClassSpec, RedundancyClasses) {
+  auto rp = classSpec(ObjClass::RP_2GX);
+  EXPECT_TRUE(rp.replicated());
+  EXPECT_EQ(rp.groupSize(), 2);
+  EXPECT_DOUBLE_EQ(rp.writeAmplification(), 2.0);
+
+  auto ec = classSpec(ObjClass::EC_2P1GX);
+  EXPECT_TRUE(ec.erasureCoded());
+  EXPECT_EQ(ec.groupSize(), 3);
+  EXPECT_DOUBLE_EQ(ec.writeAmplification(), 1.5);
+
+  auto ec42 = classSpec(ObjClass::EC_4P2GX);
+  EXPECT_DOUBLE_EQ(ec42.writeAmplification(), 1.5);
+}
+
+TEST(Oid, EncodesClassAndPreservesUserBits) {
+  auto oid = makeOid(ObjClass::EC_2P1GX, 0xdeadbeefcafeULL, 0x1234);
+  EXPECT_EQ(oidClass(oid), ObjClass::EC_2P1GX);
+  EXPECT_EQ(oid.lo, 0xdeadbeefcafeULL);
+  EXPECT_EQ(oidUserHi(oid), 0x1234u);
+}
+
+TEST(Oid, HashDiffersByClassAndId) {
+  auto a = makeOid(ObjClass::S1, 1);
+  auto b = makeOid(ObjClass::S1, 2);
+  auto c = makeOid(ObjClass::SX, 1);
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_NE(a.hash(), c.hash());
+  EXPECT_NE(a, b);
+}
+
+TEST(Layout, SxUsesEveryTarget) {
+  const int targets = 256;
+  auto layout = computeLayout(makeOid(ObjClass::SX, 42), targets);
+  EXPECT_EQ(layout.groups, targets);
+  EXPECT_EQ(layout.group_size, 1);
+  std::set<int> used(layout.targets.begin(), layout.targets.end());
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(targets));
+}
+
+TEST(Layout, S1UsesExactlyOneTarget) {
+  auto layout = computeLayout(makeOid(ObjClass::S1, 7), 64);
+  EXPECT_EQ(layout.groups, 1);
+  EXPECT_EQ(layout.targets.size(), 1u);
+  EXPECT_GE(layout.targets[0], 0);
+  EXPECT_LT(layout.targets[0], 64);
+}
+
+TEST(Layout, GroupMembersAreDistinct) {
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    auto layout = computeLayout(makeOid(ObjClass::EC_2P1GX, id), 48);
+    for (int g = 0; g < layout.groups; ++g) {
+      auto members = layout.groupTargets(g);
+      std::set<int> s(members.begin(), members.end());
+      EXPECT_EQ(s.size(), members.size()) << "oid " << id << " group " << g;
+    }
+  }
+}
+
+TEST(Layout, NoTargetRepeatsWithinLayout) {
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    auto layout = computeLayout(makeOid(ObjClass::RP_2GX, id), 32);
+    std::set<int> s(layout.targets.begin(), layout.targets.end());
+    EXPECT_EQ(s.size(), layout.targets.size()) << "oid " << id;
+  }
+}
+
+TEST(Layout, DeterministicForSameOid) {
+  auto a = computeLayout(makeOid(ObjClass::SX, 99), 128);
+  auto b = computeLayout(makeOid(ObjClass::SX, 99), 128);
+  EXPECT_EQ(a.targets, b.targets);
+}
+
+TEST(Layout, ThrowsWhenClassNeedsMoreTargetsThanPool) {
+  EXPECT_THROW(computeLayout(makeOid(ObjClass::EC_2P1G1, 1), 2),
+               std::invalid_argument);
+  EXPECT_THROW(computeLayout(makeOid(ObjClass::S1, 1), 0),
+               std::invalid_argument);
+}
+
+TEST(Layout, FixedGroupCountClampedToPool) {
+  // S8 on a 4-target pool degrades to 4 groups instead of duplicating.
+  auto layout = computeLayout(makeOid(ObjClass::S8, 5), 4);
+  EXPECT_EQ(layout.groups, 4);
+}
+
+TEST(Layout, DkeyGroupStableAndInRange) {
+  auto layout = computeLayout(makeOid(ObjClass::SX, 11), 96);
+  for (int i = 0; i < 100; ++i) {
+    std::string key = "chunk" + std::to_string(i);
+    int g = dkeyGroup(layout, key);
+    EXPECT_GE(g, 0);
+    EXPECT_LT(g, layout.groups);
+    EXPECT_EQ(g, dkeyGroup(layout, key));
+  }
+}
+
+// Property: placement of many S1 objects is near-uniform over targets.
+struct UniformityCase {
+  ObjClass oclass;
+  int targets;
+};
+
+class PlacementUniformity : public ::testing::TestWithParam<UniformityCase> {};
+
+TEST_P(PlacementUniformity, S1StyleObjectsSpreadEvenly) {
+  const auto [oclass, targets] = GetParam();
+  std::vector<int> load(static_cast<std::size_t>(targets), 0);
+  const int objects = 20000;
+  for (int i = 0; i < objects; ++i) {
+    auto layout =
+        computeLayout(makeOid(oclass, static_cast<std::uint64_t>(i)), targets);
+    for (int t : layout.targets) load[static_cast<std::size_t>(t)]++;
+  }
+  const double mean =
+      static_cast<double>(objects) *
+      static_cast<double>(computeLayout(makeOid(oclass, 0), targets)
+                              .targets.size()) /
+      targets;
+  // Binomial-ish bins: allow 5 standard deviations (plus a floor for small
+  // means) so the test is robust across many bins without masking skew.
+  const double tolerance = std::max(0.3 * mean, 5.0 * std::sqrt(mean));
+  for (int t = 0; t < targets; ++t) {
+    EXPECT_NEAR(load[static_cast<std::size_t>(t)], mean, tolerance)
+        << "target " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, PlacementUniformity,
+    ::testing::Values(UniformityCase{ObjClass::S1, 64},
+                      UniformityCase{ObjClass::S1, 256},
+                      UniformityCase{ObjClass::S4, 64},
+                      UniformityCase{ObjClass::RP_2G1, 32},
+                      UniformityCase{ObjClass::EC_2P1G1, 48}));
+
+// Property: dkeys of an SX object spread near-uniformly over groups.
+TEST(Layout, DkeyDistributionUniform) {
+  auto layout = computeLayout(makeOid(ObjClass::SX, 3), 256);
+  std::vector<int> load(static_cast<std::size_t>(layout.groups), 0);
+  const int keys = 100000;
+  for (int i = 0; i < keys; ++i) {
+    load[static_cast<std::size_t>(dkeyGroup(layout, "k" + std::to_string(i)))]++;
+  }
+  const double mean = static_cast<double>(keys) / layout.groups;
+  for (int g = 0; g < layout.groups; ++g) {
+    EXPECT_NEAR(load[static_cast<std::size_t>(g)], mean, 0.3 * mean);
+  }
+}
+
+}  // namespace
+}  // namespace daosim::placement

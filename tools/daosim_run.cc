@@ -1,0 +1,263 @@
+// daosim_run — command-line driver for arbitrary experiment points.
+//
+// The paper's artifact exposes "master scripts" that deploy a storage
+// system and loop a benchmark over client-node/process grids. This tool is
+// the equivalent entry point for the simulated testbed: pick a system, a
+// benchmark, a deployment size and a client configuration, get a
+// paper-style result line (plus an optional utilization breakdown).
+//
+// Examples:
+//   daosim_run --system daos --bench ior --api libdaos
+//              --servers 16 --clients 16 --ppn 16
+//   daosim_run --system daos --bench ior --api dfuse+il --transfer 1024
+//              --ops 2000
+//   daosim_run --system lustre --bench fdb --clients 32 --ppn 8 --stats
+//   daosim_run --system ceph --bench fdb --pgs 256
+//   daosim_run --system daos --bench ior --oclass EC_2P1GX --shared
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "apps/fdb.h"
+#include "apps/fieldio.h"
+#include "apps/ior.h"
+#include "apps/runner.h"
+#include "apps/stats_report.h"
+#include "apps/sweep.h"
+#include "apps/testbed.h"
+
+namespace {
+
+using namespace daosim;
+
+struct Options {
+  std::string system = "daos";
+  std::string bench = "ior";
+  std::string api = "libdaos";
+  std::string oclass = "SX";
+  int servers = 16;
+  int clients = 16;
+  int ppn = 16;
+  std::uint64_t ops = 0;  // 0 = auto-scale
+  std::uint64_t transfer = 1 << 20;
+  int reps = 3;
+  std::uint64_t seed = 1;
+  int pgs = 1024;
+  int replicas = 1;
+  bool shared = false;
+  bool async_index = false;
+  bool stats = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--system daos|lustre|ceph] [--bench ior|fieldio|fdb]\n"
+      "          [--api libdaos|dfs|dfuse|dfuse+il|hdf5-dfuse|hdf5-daos]\n"
+      "          [--servers N] [--clients N] [--ppn N] [--ops N]\n"
+      "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
+      "          [--reps N] [--seed N] [--pgs N] [--replicas N]\n"
+      "          [--shared] [--async-index] [--stats]\n",
+      argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--system") {
+      o.system = value();
+    } else if (arg == "--bench") {
+      o.bench = value();
+    } else if (arg == "--api") {
+      o.api = value();
+    } else if (arg == "--oclass") {
+      o.oclass = value();
+    } else if (arg == "--servers") {
+      o.servers = std::atoi(value());
+    } else if (arg == "--clients") {
+      o.clients = std::atoi(value());
+    } else if (arg == "--ppn") {
+      o.ppn = std::atoi(value());
+    } else if (arg == "--ops") {
+      o.ops = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--transfer") {
+      o.transfer = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--reps") {
+      o.reps = std::atoi(value());
+    } else if (arg == "--seed") {
+      o.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--pgs") {
+      o.pgs = std::atoi(value());
+    } else if (arg == "--replicas") {
+      o.replicas = std::atoi(value());
+    } else if (arg == "--shared") {
+      o.shared = true;
+    } else if (arg == "--async-index") {
+      o.async_index = true;
+    } else if (arg == "--stats") {
+      o.stats = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+  if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0) {
+    usage(argv[0]);
+  }
+  return o;
+}
+
+std::uint64_t opCount(const Options& o) {
+  if (o.ops > 0) return o.ops;
+  return apps::scaledOps(o.clients * o.ppn, 1000, 40000);
+}
+
+apps::IorDaos::Api parseApi(const std::string& api) {
+  if (api == "libdaos") return apps::IorDaos::Api::kDaosArray;
+  if (api == "dfs") return apps::IorDaos::Api::kDfs;
+  if (api == "dfuse") return apps::IorDaos::Api::kDfuse;
+  if (api == "dfuse+il") return apps::IorDaos::Api::kDfuseIl;
+  if (api == "hdf5-dfuse") return apps::IorDaos::Api::kHdf5DfuseIl;
+  if (api == "hdf5-daos") return apps::IorDaos::Api::kHdf5Daos;
+  throw std::invalid_argument("unknown --api: " + api);
+}
+
+apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats) {
+  apps::DaosTestbed::Options opt;
+  opt.server_nodes = o.servers;
+  opt.client_nodes = o.clients;
+  opt.seed = seed;
+  apps::DaosTestbed tb(opt);
+  const sim::Time t0 = tb.sim().now();
+  apps::RunResult r;
+  if (o.bench == "ior") {
+    apps::IorConfig cfg;
+    cfg.transfer = o.transfer;
+    cfg.ops = opCount(o);
+    cfg.oclass = placement::classFromName(o.oclass);
+    cfg.shared_file = o.shared;
+    apps::IorDaos bench(tb, parseApi(o.api), cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else if (o.bench == "fieldio") {
+    apps::FieldIoConfig cfg;
+    cfg.field_size = o.transfer;
+    cfg.fields = opCount(o);
+    apps::FieldIo bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else if (o.bench == "fdb") {
+    apps::FdbConfig cfg;
+    cfg.field_size = o.transfer;
+    cfg.fields = opCount(o);
+    cfg.async_index = o.async_index;
+    cfg.array_oclass = placement::classFromName(o.oclass) ==
+                               placement::ObjClass::SX
+                           ? placement::ObjClass::S1
+                           : placement::classFromName(o.oclass);
+    apps::FdbDaos bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else {
+    throw std::invalid_argument("unknown --bench: " + o.bench);
+  }
+  if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  return r;
+}
+
+apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats) {
+  apps::LustreTestbed::Options opt;
+  opt.oss_nodes = o.servers;
+  opt.client_nodes = o.clients;
+  opt.seed = seed;
+  apps::LustreTestbed tb(opt);
+  const sim::Time t0 = tb.sim().now();
+  apps::RunResult r;
+  if (o.bench == "ior") {
+    apps::IorConfig cfg;
+    cfg.transfer = o.transfer;
+    cfg.ops = opCount(o);
+    apps::IorLustre bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else if (o.bench == "fdb") {
+    apps::FdbConfig cfg;
+    cfg.field_size = o.transfer;
+    cfg.fields = opCount(o);
+    apps::FdbLustre bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else {
+    throw std::invalid_argument("--system lustre supports ior|fdb");
+  }
+  if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  return r;
+}
+
+apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats) {
+  apps::CephTestbed::Options opt;
+  opt.osd_nodes = o.servers;
+  opt.client_nodes = o.clients;
+  opt.seed = seed;
+  opt.ceph.pg_count = o.pgs;
+  opt.ceph.replica_count = o.replicas;
+  apps::CephTestbed tb(opt);
+  const sim::Time t0 = tb.sim().now();
+  apps::RunResult r;
+  if (o.bench == "ior") {
+    apps::IorConfig cfg;
+    cfg.transfer = o.transfer;
+    cfg.ops = o.ops > 0 ? o.ops : 100;  // the paper's 132 MiB-object cap
+    apps::IorRados bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else if (o.bench == "fdb") {
+    apps::FdbConfig cfg;
+    cfg.field_size = o.transfer;
+    cfg.fields = opCount(o);
+    apps::FdbRados bench(tb, cfg);
+    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+  } else {
+    throw std::invalid_argument("--system ceph supports ior|fdb");
+  }
+  if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse(argc, argv);
+    apps::Measurement m;
+    m.point = apps::SweepPoint{o.clients, o.ppn};
+    for (int rep = 0; rep < o.reps; ++rep) {
+      const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
+      const bool stats = o.stats && rep == o.reps - 1;
+      if (o.system == "daos") {
+        m.add(runDaos(o, seed, stats));
+      } else if (o.system == "lustre") {
+        m.add(runLustre(o, seed, stats));
+      } else if (o.system == "ceph") {
+        m.add(runCeph(o, seed, stats));
+      } else {
+        throw std::invalid_argument("unknown --system: " + o.system);
+      }
+    }
+    std::printf(
+        "%s/%s servers=%d clients=%d ppn=%d procs=%d reps=%d\n"
+        "  write %.2f +/- %.2f GiB/s (%.1f kIOPS)\n"
+        "  read  %.2f +/- %.2f GiB/s (%.1f kIOPS)\n",
+        o.system.c_str(), o.bench.c_str(), o.servers, o.clients, o.ppn,
+        o.clients * o.ppn, o.reps, m.write_gibps.mean(),
+        m.write_gibps.stddev(), m.write_kiops.mean(), m.read_gibps.mean(),
+        m.read_gibps.stddev(), m.read_kiops.mean());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "daosim_run: %s\n", e.what());
+    return 1;
+  }
+}
