@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dfuse_cache.dir/ablation_dfuse_cache.cc.o"
+  "CMakeFiles/ablation_dfuse_cache.dir/ablation_dfuse_cache.cc.o.d"
+  "ablation_dfuse_cache"
+  "ablation_dfuse_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dfuse_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transfer_size.dir/ablation_transfer_size.cc.o"
+  "CMakeFiles/ablation_transfer_size.dir/ablation_transfer_size.cc.o.d"
+  "ablation_transfer_size"
+  "ablation_transfer_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transfer_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig0_hw_baseline.dir/fig0_hw_baseline.cc.o"
+  "CMakeFiles/fig0_hw_baseline.dir/fig0_hw_baseline.cc.o.d"
+  "fig0_hw_baseline"
+  "fig0_hw_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig0_hw_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_api_comparison.dir/fig1_api_comparison.cc.o"
+  "CMakeFiles/fig1_api_comparison.dir/fig1_api_comparison.cc.o.d"
+  "fig1_api_comparison"
+  "fig1_api_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_api_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dfuse_il_iops.dir/fig2_dfuse_il_iops.cc.o"
+  "CMakeFiles/fig2_dfuse_il_iops.dir/fig2_dfuse_il_iops.cc.o.d"
+  "fig2_dfuse_il_iops"
+  "fig2_dfuse_il_iops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dfuse_il_iops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

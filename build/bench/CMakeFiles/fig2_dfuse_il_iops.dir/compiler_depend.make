@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_dfuse_il_iops.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_applications.dir/fig3_applications.cc.o"
+  "CMakeFiles/fig3_applications.dir/fig3_applications.cc.o.d"
+  "fig3_applications"
+  "fig3_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

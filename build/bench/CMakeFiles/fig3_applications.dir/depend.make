@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_applications.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_hdf5_smallscale.dir/fig4_hdf5_smallscale.cc.o"
+  "CMakeFiles/fig4_hdf5_smallscale.dir/fig4_hdf5_smallscale.cc.o.d"
+  "fig4_hdf5_smallscale"
+  "fig4_hdf5_smallscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_hdf5_smallscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

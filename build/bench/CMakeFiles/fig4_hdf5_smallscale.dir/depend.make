@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_hdf5_smallscale.
+# This may be replaced when dependencies are built.

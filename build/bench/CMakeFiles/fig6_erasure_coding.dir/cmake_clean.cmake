@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_erasure_coding.dir/fig6_erasure_coding.cc.o"
+  "CMakeFiles/fig6_erasure_coding.dir/fig6_erasure_coding.cc.o.d"
+  "fig6_erasure_coding"
+  "fig6_erasure_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_erasure_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

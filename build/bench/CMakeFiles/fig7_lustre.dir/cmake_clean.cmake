@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_lustre.dir/fig7_lustre.cc.o"
+  "CMakeFiles/fig7_lustre.dir/fig7_lustre.cc.o.d"
+  "fig7_lustre"
+  "fig7_lustre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

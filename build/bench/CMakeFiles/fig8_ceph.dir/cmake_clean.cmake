@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ceph.dir/fig8_ceph.cc.o"
+  "CMakeFiles/fig8_ceph.dir/fig8_ceph.cc.o.d"
+  "fig8_ceph"
+  "fig8_ceph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ceph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_on_daos.dir/posix_on_daos.cpp.o"
+  "CMakeFiles/posix_on_daos.dir/posix_on_daos.cpp.o.d"
+  "posix_on_daos"
+  "posix_on_daos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_on_daos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

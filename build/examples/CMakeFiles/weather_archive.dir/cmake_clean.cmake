@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_archive.dir/weather_archive.cpp.o"
+  "CMakeFiles/weather_archive.dir/weather_archive.cpp.o.d"
+  "weather_archive"
+  "weather_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/fdb.cc" "src/CMakeFiles/daosim.dir/apps/fdb.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/fdb.cc.o.d"
+  "/root/repo/src/apps/fieldio.cc" "src/CMakeFiles/daosim.dir/apps/fieldio.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/fieldio.cc.o.d"
+  "/root/repo/src/apps/ior.cc" "src/CMakeFiles/daosim.dir/apps/ior.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/ior.cc.o.d"
+  "/root/repo/src/apps/runner.cc" "src/CMakeFiles/daosim.dir/apps/runner.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/runner.cc.o.d"
+  "/root/repo/src/apps/stats_report.cc" "src/CMakeFiles/daosim.dir/apps/stats_report.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/stats_report.cc.o.d"
+  "/root/repo/src/apps/sweep.cc" "src/CMakeFiles/daosim.dir/apps/sweep.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/sweep.cc.o.d"
+  "/root/repo/src/apps/testbed.cc" "src/CMakeFiles/daosim.dir/apps/testbed.cc.o" "gcc" "src/CMakeFiles/daosim.dir/apps/testbed.cc.o.d"
+  "/root/repo/src/daos/array.cc" "src/CMakeFiles/daosim.dir/daos/array.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/array.cc.o.d"
+  "/root/repo/src/daos/client.cc" "src/CMakeFiles/daosim.dir/daos/client.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/client.cc.o.d"
+  "/root/repo/src/daos/engine.cc" "src/CMakeFiles/daosim.dir/daos/engine.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/engine.cc.o.d"
+  "/root/repo/src/daos/kv.cc" "src/CMakeFiles/daosim.dir/daos/kv.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/kv.cc.o.d"
+  "/root/repo/src/daos/pool_service.cc" "src/CMakeFiles/daosim.dir/daos/pool_service.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/pool_service.cc.o.d"
+  "/root/repo/src/daos/rebuild.cc" "src/CMakeFiles/daosim.dir/daos/rebuild.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/rebuild.cc.o.d"
+  "/root/repo/src/daos/system.cc" "src/CMakeFiles/daosim.dir/daos/system.cc.o" "gcc" "src/CMakeFiles/daosim.dir/daos/system.cc.o.d"
+  "/root/repo/src/dfs/dfs.cc" "src/CMakeFiles/daosim.dir/dfs/dfs.cc.o" "gcc" "src/CMakeFiles/daosim.dir/dfs/dfs.cc.o.d"
+  "/root/repo/src/hdf5/h5.cc" "src/CMakeFiles/daosim.dir/hdf5/h5.cc.o" "gcc" "src/CMakeFiles/daosim.dir/hdf5/h5.cc.o.d"
+  "/root/repo/src/lustre/lustre.cc" "src/CMakeFiles/daosim.dir/lustre/lustre.cc.o" "gcc" "src/CMakeFiles/daosim.dir/lustre/lustre.cc.o.d"
+  "/root/repo/src/placement/layout.cc" "src/CMakeFiles/daosim.dir/placement/layout.cc.o" "gcc" "src/CMakeFiles/daosim.dir/placement/layout.cc.o.d"
+  "/root/repo/src/placement/objclass.cc" "src/CMakeFiles/daosim.dir/placement/objclass.cc.o" "gcc" "src/CMakeFiles/daosim.dir/placement/objclass.cc.o.d"
+  "/root/repo/src/posix/dfuse.cc" "src/CMakeFiles/daosim.dir/posix/dfuse.cc.o" "gcc" "src/CMakeFiles/daosim.dir/posix/dfuse.cc.o.d"
+  "/root/repo/src/posix/vfs.cc" "src/CMakeFiles/daosim.dir/posix/vfs.cc.o" "gcc" "src/CMakeFiles/daosim.dir/posix/vfs.cc.o.d"
+  "/root/repo/src/rados/rados.cc" "src/CMakeFiles/daosim.dir/rados/rados.cc.o" "gcc" "src/CMakeFiles/daosim.dir/rados/rados.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/daosim.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/daosim.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "src/CMakeFiles/daosim.dir/sim/simulation.cc.o" "gcc" "src/CMakeFiles/daosim.dir/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/CMakeFiles/daosim.dir/sim/sync.cc.o" "gcc" "src/CMakeFiles/daosim.dir/sim/sync.cc.o.d"
+  "/root/repo/src/vos/extent_tree.cc" "src/CMakeFiles/daosim.dir/vos/extent_tree.cc.o" "gcc" "src/CMakeFiles/daosim.dir/vos/extent_tree.cc.o.d"
+  "/root/repo/src/vos/payload.cc" "src/CMakeFiles/daosim.dir/vos/payload.cc.o" "gcc" "src/CMakeFiles/daosim.dir/vos/payload.cc.o.d"
+  "/root/repo/src/vos/target_store.cc" "src/CMakeFiles/daosim.dir/vos/target_store.cc.o" "gcc" "src/CMakeFiles/daosim.dir/vos/target_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_posix_test.dir/dfs_posix_test.cc.o"
+  "CMakeFiles/dfs_posix_test.dir/dfs_posix_test.cc.o.d"
+  "dfs_posix_test"
+  "dfs_posix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_posix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

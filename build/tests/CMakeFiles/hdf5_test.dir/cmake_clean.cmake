@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdf5_test.dir/hdf5_test.cc.o"
+  "CMakeFiles/hdf5_test.dir/hdf5_test.cc.o.d"
+  "hdf5_test"
+  "hdf5_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdf5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vos_test.dir/vos_test.cc.o"
+  "CMakeFiles/vos_test.dir/vos_test.cc.o.d"
+  "vos_test"
+  "vos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

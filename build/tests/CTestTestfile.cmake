@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hw_test "/root/repo/build/tests/hw_test")
+set_tests_properties(hw_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(placement_test "/root/repo/build/tests/placement_test")
+set_tests_properties(placement_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vos_test "/root/repo/build/tests/vos_test")
+set_tests_properties(vos_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(daos_test "/root/repo/build/tests/daos_test")
+set_tests_properties(daos_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dfs_posix_test "/root/repo/build/tests/dfs_posix_test")
+set_tests_properties(dfs_posix_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(baselines_test "/root/repo/build/tests/baselines_test")
+set_tests_properties(baselines_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(hdf5_test "/root/repo/build/tests/hdf5_test")
+set_tests_properties(hdf5_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_test "/root/repo/build/tests/apps_test")
+set_tests_properties(apps_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(redundancy_test "/root/repo/build/tests/redundancy_test")
+set_tests_properties(redundancy_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rebuild_test "/root/repo/build/tests/rebuild_test")
+set_tests_properties(rebuild_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;daosim_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(coverage_test "/root/repo/build/tests/coverage_test")
+set_tests_properties(coverage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;21;daosim_test;/root/repo/tests/CMakeLists.txt;0;")

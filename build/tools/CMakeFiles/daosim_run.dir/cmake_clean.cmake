@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daosim_run.dir/daosim_run.cc.o"
+  "CMakeFiles/daosim_run.dir/daosim_run.cc.o.d"
+  "daosim_run"
+  "daosim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daosim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
