@@ -2,9 +2,12 @@
 //
 // Each figure binary registers one google-benchmark case per sweep point;
 // a case runs DAOSIM_REPS (default 3) fresh testbeds with different seeds,
-// reports mean/stddev bandwidths as counters, and accumulates rows for the
-// paper-style table printed after the run. DAOSIM_OPS scales per-process
-// op counts; see apps/sweep.h.
+// reports mean/stddev bandwidths plus p99 op latency as counters, and
+// accumulates rows for the paper-style table printed after the run (which
+// includes p50/p95/p99 latency columns). DAOSIM_OPS scales per-process op
+// counts; see apps/sweep.h. DAOSIM_TRACE / DAOSIM_METRICS write a
+// Chrome-trace JSON / metrics file for the last run executed (the export
+// happens inside apps::runSpmd; see apps/runner.cc).
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -74,6 +77,10 @@ inline void registerSweep(const std::string& series,
             state.counters["read_GiBps"] = m.read_gibps.mean();
             state.counters["read_GiBps_sd"] = m.read_gibps.stddev();
           }
+          state.counters["write_p99_us"] =
+              static_cast<double>(m.write_lat.percentile(99)) / 1e3;
+          state.counters["read_p99_us"] =
+              static_cast<double>(m.read_lat.percentile(99)) / 1e3;
           seriesNamed(series).points.push_back(m);
         })
         ->Iterations(1)

@@ -1,6 +1,11 @@
 #include "apps/runner.h"
 
+#include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <string>
+
+#include "obs/observer.h"
 
 namespace daosim::apps {
 
@@ -10,10 +15,34 @@ sim::Task<void> runProcess(SpmdBenchmark* bench, ProcContext ctx) {
   co_await bench->process(ctx);
 }
 
+bool endsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string envFile(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
 }  // namespace
 
 RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
                   int procs_per_node, SpmdBenchmark& bench) {
+  // DAOSIM_TRACE / DAOSIM_METRICS: attach an observer for this run if the
+  // caller has not installed one, and export when the run completes. Each
+  // runSpmd call overwrites the files, so a sweep leaves the last run's
+  // trace — attach an observer around the point of interest for more.
+  const std::string trace_file = envFile("DAOSIM_TRACE");
+  const std::string metrics_file = envFile("DAOSIM_METRICS");
+  obs::Observer local;
+  const bool attach = (!trace_file.empty() || !metrics_file.empty()) &&
+                      sim.observer() == nullptr;
+  if (attach) {
+    local.attach(sim);
+    if (!trace_file.empty()) local.enableTracing();
+  }
+
   const int procs = static_cast<int>(nodes.size()) * procs_per_node;
   RunResult result;
   result.procs = procs;
@@ -32,6 +61,23 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
     handles.push_back(sim.spawn(runProcess(&bench, ctx)));
   }
   sim.run();
+
+  if (attach) {
+    if (!trace_file.empty()) {
+      std::ofstream f(trace_file);
+      local.writeChromeTrace(f);
+    }
+    if (!metrics_file.empty()) {
+      local.exportMetrics();
+      std::ofstream f(metrics_file);
+      if (endsWith(metrics_file, ".json")) {
+        local.metrics().writeJson(f);
+      } else {
+        local.metrics().writeCsv(f);
+      }
+    }
+    local.detach();
+  }
 
   for (auto& h : handles) {
     if (h.failed()) std::rethrow_exception(h.error());

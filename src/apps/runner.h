@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "hw/cluster.h"
+#include "obs/histogram.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -26,6 +27,7 @@ struct PhaseResult {
   std::uint64_t ops = 0;
   sim::Time first_start = std::numeric_limits<sim::Time>::max();
   sim::Time last_end = 0;
+  obs::Histogram latency;  // per-op latency in ns, across all processes
 
   sim::Time span() const noexcept {
     return last_end > first_start ? last_end - first_start : 0;
@@ -65,6 +67,7 @@ struct ProcContext {
     p.ops += 1;
     if (start < p.first_start) p.first_start = start;
     if (sim->now() > p.last_end) p.last_end = sim->now();
+    p.latency.add(sim->now() - start);
   }
 };
 

@@ -51,6 +51,17 @@ int envReps(int def) {
 
 bool envFullGrid() { return envU64("DAOSIM_FULL_GRID", 0) != 0; }
 
+namespace {
+/// Three per-op latency percentile columns, in microseconds.
+void printLatCols(std::ostream& os, const obs::Histogram& h) {
+  os << std::setprecision(1);
+  for (double p : {50.0, 95.0, 99.0}) {
+    os << std::setw(9) << static_cast<double>(h.percentile(p)) / 1e3;
+  }
+  os << std::setprecision(2);
+}
+}  // namespace
+
 void printSeries(std::ostream& os, const Series& series, bool show_iops) {
   os << "== " << series.name << " ==\n";
   os << std::setw(8) << series.col1 << std::setw(7) << "ppn" << std::setw(7)
@@ -62,6 +73,9 @@ void printSeries(std::ostream& os, const Series& series, bool show_iops) {
     os << std::setw(14) << "write GiB/s" << std::setw(9) << "+/-"
        << std::setw(14) << "read GiB/s" << std::setw(9) << "+/-";
   }
+  os << std::setw(9) << "w.p50us" << std::setw(9) << "w.p95" << std::setw(9)
+     << "w.p99" << std::setw(9) << "r.p50us" << std::setw(9) << "r.p95"
+     << std::setw(9) << "r.p99";
   os << "\n";
   for (const auto& m : series.points) {
     os << std::setw(8) << m.point.client_nodes << std::setw(7)
@@ -76,6 +90,8 @@ void printSeries(std::ostream& os, const Series& series, bool show_iops) {
          << m.write_gibps.stddev() << std::setw(14) << m.read_gibps.mean()
          << std::setw(9) << m.read_gibps.stddev();
     }
+    printLatCols(os, m.write_lat);
+    printLatCols(os, m.read_lat);
     os << "\n";
     os.unsetf(std::ios::fixed);
   }

@@ -26,12 +26,16 @@ struct Measurement {
   sim::Welford read_gibps;
   sim::Welford write_kiops;
   sim::Welford read_kiops;
+  obs::Histogram write_lat;  // per-op ns, merged across reps
+  obs::Histogram read_lat;
 
   void add(const RunResult& r) {
     write_gibps.add(r.write().gibps());
     read_gibps.add(r.read().gibps());
     write_kiops.add(r.write().iops() / 1e3);
     read_kiops.add(r.read().iops() / 1e3);
+    write_lat.merge(r.write().latency);
+    read_lat.merge(r.read().latency);
   }
 };
 

@@ -49,6 +49,7 @@ DaosTestbed::DaosTestbed(Options opt)
       daemons_.emplace(node, std::make_unique<posix::DfuseDaemon>(
                                  sim_, dfs_->withClient(*client), opt.dfuse,
                                  "dfuse" + std::to_string(node)));
+      daemons_.at(node)->threads().setTracePid(node);
       daemon_clients_.push_back(std::move(client));
     }
   }

@@ -45,6 +45,11 @@ class DaosTestbed {
   const daos::Container& container() const noexcept { return cont_; }
   const dfs::FileSystem& dfsMount() const noexcept { return *dfs_; }
   posix::DfuseDaemon& daemon(hw::NodeId node) { return *daemons_.at(node); }
+  /// All running DFUSE daemons (empty when with_dfuse = false).
+  const std::map<hw::NodeId, std::unique_ptr<posix::DfuseDaemon>>& daemons()
+      const noexcept {
+    return daemons_;
+  }
   std::uint64_t seed() const noexcept { return seed_; }
 
   /// First `n` client nodes.

@@ -63,28 +63,29 @@ vos::Payload assemble(std::vector<Piece> pieces, std::uint64_t total) {
 /// One extent-write RPC to a pool-global target.
 sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
                               int target, std::string dkey, std::string akey,
-                              std::uint64_t offset, vos::Payload data) {
+                              std::uint64_t offset, vos::Payload data,
+                              obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + data.size());
+                        net::kSmallRequest + data.size(), op);
   co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
-                               std::move(data));
-  co_await net::respond(cluster, engine->node(), client->node(), 0);
+                               std::move(data), op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
 }
 
 /// One extent-read RPC to a pool-global target.
 sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
                                 ObjectId oid, int target, std::string dkey,
                                 std::string akey, std::uint64_t offset,
-                                std::uint64_t length) {
+                                std::uint64_t length, obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest);
+                        net::kSmallRequest, op);
   vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
-                                               offset, length);
-  co_await net::respond(cluster, engine->node(), client->node(), p.size());
+                                               offset, length, op);
+  co_await net::respond(cluster, engine->node(), client->node(), p.size(), op);
   co_return p;
 }
 
@@ -92,21 +93,22 @@ sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
 sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
                                 ObjectId oid, int target,
                                 std::uint64_t chunk_size,
-                                std::uint64_t new_size) {
+                                std::uint64_t new_size, obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest);
-  co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size);
-  co_await net::respond(cluster, engine->node(), client->node(), 0);
+                        net::kSmallRequest, op);
+  co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size,
+                                      op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
 }
 
 sim::Task<void> fetchInto(Client* client, vos::ContId cont, ObjectId oid,
                           int target, std::string dkey, std::string akey,
                           std::uint64_t off, std::uint64_t len,
-                          vos::Payload* out) {
+                          vos::Payload* out, obs::OpId op) {
   *out = co_await fetchOp(client, cont, oid, target, std::move(dkey),
-                          std::move(akey), off, len);
+                          std::move(akey), off, len, op);
 }
 
 }  // namespace
@@ -197,7 +199,7 @@ Array Array::openWithAttrs(Client& client, Container cont, ObjectId oid,
 // --- write path -----------------------------------------------------------
 
 sim::Task<void> Array::writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
-                                  vos::Payload piece) {
+                                  vos::Payload piece, obs::OpId op) {
   const std::string dkey = vos::u64Dkey(chunk);
   const int group = placement::dkeyGroup(layout_, dkey);
   const auto& spec = layout_.spec;
@@ -219,7 +221,7 @@ sim::Task<void> Array::writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
       if (full_stripe) stripe_cells.push_back(sub);
       ops.push_back(extentWriteOp(client_, cont_.id, oid_,
                                   layout_.target(group, j), dkey, "0", lo,
-                                  std::move(sub)));
+                                  std::move(sub), op));
     }
     for (int pj = 0; pj < spec.ec_parity; ++pj) {
       vos::Payload parity;
@@ -236,13 +238,13 @@ sim::Task<void> Array::writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
       }
       ops.push_back(extentWriteOp(client_, cont_.id, oid_,
                                   layout_.target(group, k + pj), dkey, "p",
-                                  0, std::move(parity)));
+                                  0, std::move(parity), op));
     }
   } else {
     for (int r = 0; r < spec.replicas; ++r) {
       ops.push_back(extentWriteOp(client_, cont_.id, oid_,
                                   layout_.target(group, r), dkey, "0",
-                                  in_chunk, piece));
+                                  in_chunk, piece, op));
     }
   }
 
@@ -254,6 +256,7 @@ sim::Task<void> Array::writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
 }
 
 sim::Task<void> Array::write(std::uint64_t offset, vos::Payload data) {
+  auto span = client_->beginOp("array.write");
   std::vector<sim::Task<void>> pieces;
   std::uint64_t pos = 0;
   while (pos < data.size()) {
@@ -262,7 +265,8 @@ sim::Task<void> Array::write(std::uint64_t offset, vos::Payload data) {
     const std::uint64_t in_chunk = abs % attrs_.chunk_size;
     const std::uint64_t len =
         std::min(data.size() - pos, attrs_.chunk_size - in_chunk);
-    pieces.push_back(writePiece(chunk, in_chunk, data.slice(pos, len)));
+    pieces.push_back(
+        writePiece(chunk, in_chunk, data.slice(pos, len), span.id()));
     pos += len;
   }
   if (pieces.empty()) co_return;
@@ -276,7 +280,8 @@ sim::Task<void> Array::write(std::uint64_t offset, vos::Payload data) {
 // --- read path ------------------------------------------------------------
 
 sim::Task<vos::Payload> Array::readCellDegraded(std::uint64_t chunk,
-                                                int group, int failed_cell) {
+                                                int group, int failed_cell,
+                                                obs::OpId op) {
   const auto& spec = layout_.spec;
   if (spec.ec_parity < 1) {
     throw hw::DeviceFailed("array shard lost and no parity available");
@@ -293,11 +298,11 @@ sim::Task<vos::Payload> Array::readCellDegraded(std::uint64_t chunk,
     ops.push_back(fetchInto(client_, cont_.id, oid_,
                             layout_.target(group, j), dkey, "0",
                             static_cast<std::uint64_t>(j) * cell, cell,
-                            &gathered[static_cast<std::size_t>(j)]));
+                            &gathered[static_cast<std::size_t>(j)], op));
   }
   vos::Payload parity;
   ops.push_back(fetchInto(client_, cont_.id, oid_, layout_.target(group, k),
-                          dkey, "p", 0, cell, &parity));
+                          dkey, "p", 0, cell, &parity, op));
   co_await sim::whenAll(client_->sim(), std::move(ops));
 
   // Client-side XOR reconstruction.
@@ -324,7 +329,7 @@ struct Seg {
 sim::Task<void> Array::readSegInto(std::uint64_t chunk, int group,
                                    int cell_idx, std::uint64_t lo,
                                    std::uint64_t hi, std::uint64_t in_chunk,
-                                   void* out_piece) {
+                                   void* out_piece, obs::OpId op) {
   auto* out = static_cast<Piece*>(out_piece);
   out->rel = lo - in_chunk;
   const std::string dkey = vos::u64Dkey(chunk);
@@ -332,12 +337,12 @@ sim::Task<void> Array::readSegInto(std::uint64_t chunk, int group,
   try {
     out->data = co_await fetchOp(client_, cont_.id, oid_,
                                  layout_.target(group, cell_idx), dkey, "0",
-                                 lo, hi - lo);
+                                 lo, hi - lo, op);
   } catch (const hw::DeviceFailed&) {
     degraded = true;  // co_await is not allowed inside a handler
   }
   if (degraded) {
-    vos::Payload full = co_await readCellDegraded(chunk, group, cell_idx);
+    vos::Payload full = co_await readCellDegraded(chunk, group, cell_idx, op);
     const std::uint64_t cell = ecCellLen();
     out->data =
         full.slice(lo - static_cast<std::uint64_t>(cell_idx) * cell, hi - lo);
@@ -346,7 +351,7 @@ sim::Task<void> Array::readSegInto(std::uint64_t chunk, int group,
 
 sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
                                          std::uint64_t in_chunk,
-                                         std::uint64_t length) {
+                                         std::uint64_t length, obs::OpId op) {
   const std::string dkey = vos::u64Dkey(chunk);
   const int group = placement::dkeyGroup(layout_, dkey);
   const auto& spec = layout_.spec;
@@ -357,7 +362,7 @@ sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
       try {
         co_return co_await fetchOp(client_, cont_.id, oid_,
                                    layout_.target(group, r), dkey, "0",
-                                   in_chunk, length);
+                                   in_chunk, length, op);
       } catch (const hw::DeviceFailed&) {
         if (r + 1 == spec.replicas) throw;
       }
@@ -381,7 +386,7 @@ sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
   std::vector<sim::Task<void>> ops;
   for (std::size_t i = 0; i < segs.size(); ++i) {
     ops.push_back(readSegInto(chunk, group, segs[i].cell_idx, segs[i].lo,
-                              segs[i].hi, in_chunk, &pieces[i]));
+                              segs[i].hi, in_chunk, &pieces[i], op));
   }
   co_await sim::whenAll(client_->sim(), std::move(ops));
   co_return assemble(std::move(pieces), length);
@@ -390,14 +395,15 @@ sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
 sim::Task<void> Array::readPieceInto(std::uint64_t chunk,
                                      std::uint64_t in_chunk,
                                      std::uint64_t length, std::uint64_t rel,
-                                     void* out_piece) {
+                                     void* out_piece, obs::OpId op) {
   auto* out = static_cast<Piece*>(out_piece);
   out->rel = rel;
-  out->data = co_await readPiece(chunk, in_chunk, length);
+  out->data = co_await readPiece(chunk, in_chunk, length, op);
 }
 
 sim::Task<vos::Payload> Array::read(std::uint64_t offset,
                                     std::uint64_t length) {
+  auto span = client_->beginOp("array.read");
   struct Sub {
     std::uint64_t chunk, in_chunk, len, rel;
   };
@@ -414,13 +420,14 @@ sim::Task<vos::Payload> Array::read(std::uint64_t offset,
   }
   if (subs.empty()) co_return vos::Payload{};
   if (subs.size() == 1) {
-    co_return co_await readPiece(subs[0].chunk, subs[0].in_chunk, subs[0].len);
+    co_return co_await readPiece(subs[0].chunk, subs[0].in_chunk, subs[0].len,
+                                 span.id());
   }
   std::vector<Piece> pieces(subs.size());
   std::vector<sim::Task<void>> ops;
   for (std::size_t i = 0; i < subs.size(); ++i) {
     ops.push_back(readPieceInto(subs[i].chunk, subs[i].in_chunk, subs[i].len,
-                                subs[i].rel, &pieces[i]));
+                                subs[i].rel, &pieces[i], span.id()));
   }
   co_await sim::whenAll(client_->sim(), std::move(ops));
   co_return assemble(std::move(pieces), length);
@@ -428,21 +435,23 @@ sim::Task<vos::Payload> Array::read(std::uint64_t offset,
 
 // --- size -------------------------------------------------------------
 
-sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out) {
+sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out,
+                                     obs::OpId op) {
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
   co_await net::request(cluster, client_->node(), engine->node(),
-                        net::kSmallRequest);
+                        net::kSmallRequest, op);
   *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
-                                        attrs_.chunk_size);
-  co_await net::respond(cluster, engine->node(), client_->node(), 16);
+                                        attrs_.chunk_size, op);
+  co_await net::respond(cluster, engine->node(), client_->node(), 16, op);
 }
 
 sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
-                                               std::uint64_t* out) {
+                                               std::uint64_t* out,
+                                               obs::OpId op) {
   for (std::size_t r = 0; r < replicas.size(); ++r) {
     try {
-      co_await probeShardEnd(replicas[r], out);
+      co_await probeShardEnd(replicas[r], out, op);
       co_return;
     } catch (const hw::DeviceFailed&) {
       if (r + 1 == replicas.size()) throw;
@@ -451,6 +460,7 @@ sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
 }
 
 sim::Task<std::uint64_t> Array::getSize() {
+  auto span = client_->beginOp("array.get_size");
   const auto& spec = layout_.spec;
   const int probes_per_group = spec.erasureCoded() ? spec.ec_data : 1;
   std::vector<std::uint64_t> ends(
@@ -460,13 +470,15 @@ sim::Task<std::uint64_t> Array::getSize() {
   for (int g = 0; g < layout_.groups; ++g) {
     if (spec.replicated()) {
       ops.push_back(probeShardEndReplicated(layout_.groupTargets(g),
-                                            &ends[slot++]));
+                                            &ends[slot++], span.id()));
     } else if (spec.erasureCoded()) {
       for (int j = 0; j < spec.ec_data; ++j) {
-        ops.push_back(probeShardEnd(layout_.target(g, j), &ends[slot++]));
+        ops.push_back(
+            probeShardEnd(layout_.target(g, j), &ends[slot++], span.id()));
       }
     } else {
-      ops.push_back(probeShardEnd(layout_.target(g, 0), &ends[slot++]));
+      ops.push_back(
+          probeShardEnd(layout_.target(g, 0), &ends[slot++], span.id()));
     }
   }
   co_await sim::whenAll(client_->sim(), std::move(ops));
@@ -476,6 +488,7 @@ sim::Task<std::uint64_t> Array::getSize() {
 }
 
 sim::Task<void> Array::setSize(std::uint64_t size) {
+  auto span = client_->beginOp("array.set_size");
   const vos::ContId cont = cont_.id;
   const ObjectId oid = oid_;
   const std::uint64_t chunk_size = attrs_.chunk_size;
@@ -484,7 +497,7 @@ sim::Task<void> Array::setSize(std::uint64_t size) {
   std::vector<sim::Task<void>> ops;
   for (int target : layout_.targets) {
     ops.push_back(truncateShardOp(client_, cont, oid, target, chunk_size,
-                                  size));
+                                  size, span.id()));
   }
   co_await sim::whenAll(client_->sim(), std::move(ops));
   if (size == 0) co_return;

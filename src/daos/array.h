@@ -56,23 +56,24 @@ class Array {
 
   // One chunk-local piece of a larger op.
   sim::Task<void> writePiece(std::uint64_t chunk, std::uint64_t in_chunk,
-                             vos::Payload piece);
+                             vos::Payload piece, obs::OpId op);
   sim::Task<vos::Payload> readPiece(std::uint64_t chunk,
                                     std::uint64_t in_chunk,
-                                    std::uint64_t length);
+                                    std::uint64_t length, obs::OpId op);
   sim::Task<vos::Payload> readCellDegraded(std::uint64_t chunk, int group,
-                                           int failed_cell);
+                                           int failed_cell, obs::OpId op);
   // Scatter helpers writing results through out-pointers so the tasks can
   // be gathered with whenAll (out_piece is an internal Piece*).
   sim::Task<void> readSegInto(std::uint64_t chunk, int group, int cell_idx,
                               std::uint64_t lo, std::uint64_t hi,
-                              std::uint64_t in_chunk, void* out_piece);
+                              std::uint64_t in_chunk, void* out_piece,
+                              obs::OpId op);
   sim::Task<void> readPieceInto(std::uint64_t chunk, std::uint64_t in_chunk,
                                 std::uint64_t length, std::uint64_t rel,
-                                void* out_piece);
-  sim::Task<void> probeShardEnd(int target, std::uint64_t* out);
+                                void* out_piece, obs::OpId op);
+  sim::Task<void> probeShardEnd(int target, std::uint64_t* out, obs::OpId op);
   sim::Task<void> probeShardEndReplicated(std::vector<int> replicas,
-                                          std::uint64_t* out);
+                                          std::uint64_t* out, obs::OpId op);
 
   std::uint64_t ecCellLen() const noexcept {
     return attrs_.chunk_size /

@@ -12,6 +12,7 @@
 
 #include "daos/system.h"
 #include "net/rpc.h"
+#include "obs/observer.h"
 #include "placement/layout.h"
 #include "placement/oid.h"
 #include "sim/task.h"
@@ -82,20 +83,34 @@ class Client {
   /// Request leg of an RPC to a pool-global target; returns the engine and
   /// local target index for the inline server work.
   sim::Task<void> requestToTarget(int global_target,
-                                  std::uint64_t request_bytes) {
+                                  std::uint64_t request_bytes,
+                                  obs::OpId op = 0) {
     auto [engine, local] = system_->locateTarget(global_target);
     (void)local;
     co_await net::request(system_->cluster(), node_, engine->node(),
-                          request_bytes);
+                          request_bytes, op);
   }
 
   /// Response leg from a pool-global target back to this client.
   sim::Task<void> respondFromTarget(int global_target,
-                                    std::uint64_t response_bytes) {
+                                    std::uint64_t response_bytes,
+                                    obs::OpId op = 0) {
     auto [engine, local] = system_->locateTarget(global_target);
     (void)local;
     co_await net::respond(system_->cluster(), engine->node(), node_,
-                          response_bytes);
+                          response_bytes, op);
+  }
+
+  /// Opens an observability span for a client-API op on this client's
+  /// track; inert (id 0) when no observer is attached.
+  obs::OpScope beginOp(const char* type) {
+    obs::Observer* o = sim().observer();
+    if (o == nullptr) return {};
+    if (track_epoch_ != o->epoch()) {
+      track_ = o->track(node_, "client" + std::to_string(client_id_));
+      track_epoch_ = o->epoch();
+    }
+    return obs::OpScope(o, type, track_);
   }
 
  private:
@@ -103,6 +118,8 @@ class Client {
   hw::NodeId node_;
   std::uint32_t client_id_;
   std::uint64_t next_oid_lo_ = 1;
+  obs::TrackId track_ = 0;
+  std::uint64_t track_epoch_ = 0;
 };
 
 /// Tracks asynchronously launched operations (daos event queue analogue).

@@ -57,7 +57,7 @@ class Engine {
   /// Persists a single value (KV record / metadata akey).
   sim::Task<std::uint64_t> valuePut(int tgt, ContId c, const ObjectId& o,
                                     std::string dkey, std::string akey,
-                                    Payload value);
+                                    Payload value, obs::OpId op = 0);
 
   /// Fetches a single value; found=false leaves `out` empty.
   struct GetResult {
@@ -65,51 +65,60 @@ class Engine {
     bool found = false;
   };
   sim::Task<GetResult> valueGet(int tgt, ContId c, const ObjectId& o,
-                                std::string dkey, std::string akey);
+                                std::string dkey, std::string akey,
+                                obs::OpId op = 0);
 
   /// valueGet paired with its response size (for callValue transports).
   sim::Task<std::pair<GetResult, std::uint64_t>> valueGetSized(
       int tgt, ContId c, const ObjectId& o, std::string dkey,
-      std::string akey);
+      std::string akey, obs::OpId op = 0);
 
   sim::Task<std::uint64_t> valueRemove(int tgt, ContId c, const ObjectId& o,
-                                       std::string dkey, std::string akey);
+                                       std::string dkey, std::string akey,
+                                       obs::OpId op = 0);
 
   /// Writes an array extent (bulk data path).
   sim::Task<std::uint64_t> extentWrite(int tgt, ContId c, const ObjectId& o,
                                        std::string dkey, std::string akey,
-                                       std::uint64_t offset, Payload data);
+                                       std::uint64_t offset, Payload data,
+                                       obs::OpId op = 0);
 
   /// Reads an array extent; reads only the bytes actually present from the
   /// device, returns a payload of the requested length (holes zeroed).
   sim::Task<Payload> extentRead(int tgt, ContId c, const ObjectId& o,
                                 std::string dkey, std::string akey,
-                                std::uint64_t offset, std::uint64_t length);
+                                std::uint64_t offset, std::uint64_t length,
+                                obs::OpId op = 0);
 
   /// extentRead paired with its response size (for callValue transports).
   sim::Task<std::pair<Payload, std::uint64_t>> extentReadSized(
       int tgt, ContId c, const ObjectId& o, std::string dkey,
-      std::string akey, std::uint64_t offset, std::uint64_t length);
+      std::string akey, std::uint64_t offset, std::uint64_t length,
+      obs::OpId op = 0);
 
   /// Largest byte offset stored for this object on this target, given the
   /// array chunk size (dkeys encode chunk indices).
   sim::Task<std::uint64_t> arrayShardEnd(int tgt, ContId c, const ObjectId& o,
-                                         std::uint64_t chunk_size);
+                                         std::uint64_t chunk_size,
+                                         obs::OpId op = 0);
 
   /// Truncates this target's shard of an array to `new_size` total bytes:
   /// punches chunks entirely beyond and trims the straddling chunk.
   sim::Task<std::uint64_t> arrayShardTruncate(int tgt, ContId c,
                                               const ObjectId& o,
                                               std::uint64_t chunk_size,
-                                              std::uint64_t new_size);
+                                              std::uint64_t new_size,
+                                              obs::OpId op = 0);
 
   /// Enumerates dkeys (used by KV list and DFS readdir).
   sim::Task<std::vector<std::string>> listDkeys(int tgt, ContId c,
-                                                const ObjectId& o);
+                                                const ObjectId& o,
+                                                obs::OpId op = 0);
 
-  sim::Task<std::uint64_t> punchObject(int tgt, ContId c, const ObjectId& o);
+  sim::Task<std::uint64_t> punchObject(int tgt, ContId c, const ObjectId& o,
+                                       obs::OpId op = 0);
   sim::Task<std::uint64_t> punchDkey(int tgt, ContId c, const ObjectId& o,
-                                     std::string dkey);
+                                     std::string dkey, obs::OpId op = 0);
 
   const DaosConfig& config() const noexcept { return *cfg_; }
 

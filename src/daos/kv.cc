@@ -14,15 +14,15 @@ constexpr const char* kValueAkey = "v";
 
 /// Store the value on one replica target.
 sim::Task<void> putReplicaOp(Client* client, vos::ContId cont, ObjectId oid,
-                             int target, std::string key,
-                             vos::Payload value) {
+                             int target, std::string key, vos::Payload value,
+                             obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + key.size() + value.size());
+                        net::kSmallRequest + key.size() + value.size(), op);
   co_await engine->valuePut(local, cont, oid, std::move(key), kValueAkey,
-                            std::move(value));
-  co_await net::respond(cluster, engine->node(), client->node(), 0);
+                            std::move(value), op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
 }
 
 /// Remove the key from one replica target.
@@ -52,12 +52,14 @@ sim::Task<void> listGroupOp(Client* client, vos::ContId cont, ObjectId oid,
 }  // namespace
 
 sim::Task<void> KeyValue::put(std::string key, vos::Payload value) {
+  auto span = client_->beginOp("kv.put");
   const int group = placement::dkeyGroup(layout_, key);
 
   std::vector<sim::Task<void>> ops;
   for (int r = 0; r < layout_.group_size; ++r) {
     ops.push_back(putReplicaOp(client_, cont_.id, oid_,
-                               layout_.target(group, r), key, value));
+                               layout_.target(group, r), key, value,
+                               span.id()));
   }
   if (ops.size() == 1) {
     co_await std::move(ops.front());
@@ -67,6 +69,7 @@ sim::Task<void> KeyValue::put(std::string key, vos::Payload value) {
 }
 
 sim::Task<std::optional<vos::Payload>> KeyValue::get(std::string key) {
+  auto span = client_->beginOp("kv.get");
   const int group = placement::dkeyGroup(layout_, key);
   hw::Cluster& cluster = client_->system().cluster();
 
@@ -75,11 +78,11 @@ sim::Task<std::optional<vos::Payload>> KeyValue::get(std::string key) {
         client_->system().locateTarget(layout_.target(group, r));
     try {
       co_await net::request(cluster, client_->node(), engine->node(),
-                            net::kSmallRequest + key.size());
-      Engine::GetResult g =
-          co_await engine->valueGet(local, cont_.id, oid_, key, kValueAkey);
+                            net::kSmallRequest + key.size(), span.id());
+      Engine::GetResult g = co_await engine->valueGet(
+          local, cont_.id, oid_, key, kValueAkey, span.id());
       co_await net::respond(cluster, engine->node(), client_->node(),
-                            g.value.size());
+                            g.value.size(), span.id());
       if (!g.found) co_return std::nullopt;
       co_return std::move(g.value);
     } catch (const hw::DeviceFailed&) {

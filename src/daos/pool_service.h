@@ -36,7 +36,9 @@ class PoolService {
         leader_(leader_node),
         replicas_(replicas),
         cost_(cost),
-        svc_(cluster.sim(), "poolsvc", 1) {}
+        svc_(cluster.sim(), "poolsvc", 1) {
+    svc_.setTracePid(leader_node);
+  }
 
   hw::NodeId leaderNode() const noexcept { return leader_; }
 

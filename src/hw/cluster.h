@@ -13,6 +13,7 @@
 
 #include "hw/device.h"
 #include "hw/spec.h"
+#include "obs/observer.h"
 #include "sim/queue_station.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
@@ -28,11 +29,14 @@ class Node {
         spec_(spec),
         tx_(sim, "node" + std::to_string(id) + ".tx", 1),
         rx_(sim, "node" + std::to_string(id) + ".rx", 1) {
+    tx_.setTracePid(id);
+    rx_.setTracePid(id);
     drives_.reserve(static_cast<std::size_t>(spec.nvme_count));
     for (int i = 0; i < spec.nvme_count; ++i) {
       drives_.push_back(std::make_unique<NvmeDevice>(
           sim, spec.nvme,
           "node" + std::to_string(id) + ".nvme" + std::to_string(i)));
+      drives_.back()->setTracePid(id);
     }
   }
 
@@ -95,12 +99,16 @@ class Cluster {
   /// occupancy overlaps the transmit-side serialization, offset by the
   /// fabric latency, so a single stream achieves full NIC bandwidth while
   /// both endpoints still contend at their NICs. Same-node messages skip the
-  /// NIC (loopback).
-  sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes) {
+  /// NIC (loopback). A nonzero `op` records the whole transfer as one leg of
+  /// category `cat` on the sender's "net" track.
+  sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes,
+                       obs::OpId op = 0, obs::Cat cat = obs::Cat::kOther) {
     messages_ += 1;
     bytes_sent_ += bytes;
+    const sim::Time started = sim_->now();
     if (src == dst) {
       co_await sim_->delay(2 * sim::kMicrosecond);  // loopback hop
+      recordNetLeg(src, op, cat, started);
       co_return;
     }
     const std::uint64_t wire = bytes + fabric_.header_bytes;
@@ -118,12 +126,21 @@ class Cluster {
     auto delivery = sim_->spawn(receive(*sim_, d.rx(), fabric_.latency, rx_time));
     co_await s.tx().exec(tx_time);
     co_await delivery.join();
+    recordNetLeg(src, op, cat, started);
   }
 
   std::uint64_t messages() const noexcept { return messages_; }
   std::uint64_t bytesSent() const noexcept { return bytes_sent_; }
 
  private:
+  void recordNetLeg(NodeId src, obs::OpId op, obs::Cat cat,
+                    sim::Time started) {
+    if (op == 0) return;
+    if (obs::Observer* o = sim_->observer()) {
+      o->leg(op, cat, o->track(src, "net"), "send", started);
+    }
+  }
+
   sim::Simulation* sim_;
   FabricSpec fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;

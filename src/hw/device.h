@@ -21,6 +21,7 @@
 #include <string>
 
 #include "hw/spec.h"
+#include "obs/observer.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 
@@ -39,23 +40,25 @@ class NvmeDevice {
   NvmeDevice(sim::Simulation& sim, NvmeSpec spec, std::string name)
       : sim_(&sim), spec_(spec), name_(std::move(name)) {}
 
-  sim::Task<void> write(std::uint64_t bytes) {
+  sim::Task<void> write(std::uint64_t bytes, obs::OpId op = 0) {
     throwIfFailed();
     bytes_written_ += bytes;
     ++write_ops_;
     co_await io(std::max(transferTime(bytes, spec_.write_gibps),
                          spec_.write_op_service),
-                spec_.write_latency + transferTime(bytes, spec_.burst_gibps));
+                spec_.write_latency + transferTime(bytes, spec_.burst_gibps),
+                op);
     throwIfFailed();  // failure may have been injected while queued
   }
 
-  sim::Task<void> read(std::uint64_t bytes) {
+  sim::Task<void> read(std::uint64_t bytes, obs::OpId op = 0) {
     throwIfFailed();
     bytes_read_ += bytes;
     ++read_ops_;
     co_await io(std::max(transferTime(bytes, spec_.read_gibps),
                          spec_.read_op_service),
-                spec_.read_latency + transferTime(bytes, spec_.burst_gibps));
+                spec_.read_latency + transferTime(bytes, spec_.burst_gibps),
+                op);
     throwIfFailed();
   }
 
@@ -76,8 +79,13 @@ class NvmeDevice {
                    : 0.0;
   }
 
+  /// Node id used as the chrome-trace pid for this device's track.
+  void setTracePid(int pid) noexcept { trace_pid_ = pid; }
+  int tracePid() const noexcept { return trace_pid_; }
+
  private:
-  sim::Task<void> io(sim::Time service, sim::Time completion_latency) {
+  sim::Task<void> io(sim::Time service, sim::Time completion_latency,
+                     obs::OpId op) {
     const sim::Time now = sim_->now();
     virtual_end_ = std::max(virtual_end_, now) + service;
     busy_ += service;
@@ -89,6 +97,15 @@ class NvmeDevice {
       wait = std::max(wait, virtual_end_ - now - spec_.backlog_window);
     }
     co_await sim_->delay(wait);
+    if (op != 0) {
+      if (obs::Observer* o = sim_->observer()) {
+        if (track_epoch_ != o->epoch()) {
+          track_ = o->track(trace_pid_, name_);
+          track_epoch_ = o->epoch();
+        }
+        o->leg(op, obs::Cat::kDevice, track_, "io", now);
+      }
+    }
   }
 
   void throwIfFailed() const {
@@ -100,6 +117,9 @@ class NvmeDevice {
   std::string name_;
   sim::Time virtual_end_ = 0;
   sim::Time busy_ = 0;
+  int trace_pid_ = 0;
+  obs::TrackId track_ = 0;
+  std::uint64_t track_epoch_ = 0;
   bool failed_ = false;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;

@@ -44,6 +44,7 @@ LustreSystem::LustreSystem(hw::Cluster& cluster,
       mds_node_(mds_node),
       mds_threads_(cluster.sim(), "mds", config.mds_threads),
       mds_device_(&cluster.node(mds_node).drive(0)) {
+  mds_threads_.setTracePid(mds_node);
   for (hw::NodeId node : oss_nodes) {
     hw::Node& n = cluster.node(node);
     if (static_cast<int>(n.driveCount()) < config.osts_per_oss) {
@@ -53,19 +54,20 @@ LustreSystem::LustreSystem(hw::Cluster& cluster,
       osts_.push_back(std::make_unique<Ost>(
           cluster.sim(), node, n.drive(static_cast<std::size_t>(i)),
           "ost" + std::to_string(osts_.size()), config.retain_data));
+      osts_.back()->cpu.setTracePid(node);
     }
   }
   namespace_["/"] = Inode{.fid = 0, .is_directory = true, .size = 0, .layout = {}};
 }
 
-sim::Task<void> LustreSystem::mdsOp(bool mutation) {
-  co_await mds_threads_.exec(config_.mds_service);
+sim::Task<void> LustreSystem::mdsOp(bool mutation, obs::OpId op) {
+  co_await mds_threads_.exec(config_.mds_service, op);
   if (mutation) {
     journal_pending_ += config_.mds_journal_bytes;
     if (journal_pending_ >= config_.mds_journal_batch) {
       const std::uint64_t batch = journal_pending_;
       journal_pending_ = 0;
-      co_await mds_device_->write(batch);  // group commit
+      co_await mds_device_->write(batch, op);  // group commit
     }
   }
 }
@@ -111,19 +113,22 @@ std::uint64_t LustreSystem::bytesStored() const {
 
 // --- LustreVfs -------------------------------------------------------------
 
-sim::Task<void> LustreVfs::mdsCall(bool mutation) {
+sim::Task<void> LustreVfs::mdsCall(bool mutation, obs::OpId op) {
   co_await net::request(system_->cluster(), node_, system_->mdsNode(),
-                        net::kSmallRequest);
-  co_await system_->mdsOp(mutation);
-  co_await net::respond(system_->cluster(), system_->mdsNode(), node_, 128);
+                        net::kSmallRequest, op);
+  co_await system_->mdsOp(mutation, op);
+  co_await net::respond(system_->cluster(), system_->mdsNode(), node_, 128,
+                        op);
 }
 
 sim::Task<posix::Fd> LustreVfs::open(std::string path,
                                      posix::OpenFlags flags) {
   // Open intent: one MDS round trip resolving and (maybe) creating.
+  auto span = obs::beginOp(system_->cluster().sim(), "lustre.open", node_,
+                           "lustre");
   Inode* inode = system_->find(path);
   const bool creating = inode == nullptr && flags.create;
-  co_await mdsCall(/*mutation=*/creating);
+  co_await mdsCall(/*mutation=*/creating, span.id());
   if (inode == nullptr) {
     if (!flags.create) {
       throw std::runtime_error("lustre open: no such file: " + path);
@@ -168,34 +173,37 @@ sim::Task<void> LustreVfs::close(posix::Fd fd) {
 
 sim::Task<void> LustreVfs::writeStripe(std::uint64_t fid, int ost_global,
                                        std::uint64_t offset,
-                                       vos::Payload piece) {
+                                       vos::Payload piece, obs::OpId op) {
   LustreSystem::Ost& ost = system_->ost(ost_global);
   co_await net::request(system_->cluster(), node_, ost.node,
-                        net::kSmallRequest + piece.size());
-  co_await ost.cpu.exec(system_->config().ost_service_cpu);
-  co_await ost.device->write(piece.size());
+                        net::kSmallRequest + piece.size(), op);
+  co_await ost.cpu.exec(system_->config().ost_service_cpu, op);
+  co_await ost.device->write(piece.size(), op);
   ost.store.extentWrite(kLustreCont, fidOid(fid), "", "0", offset,
                         std::move(piece));
-  co_await net::respond(system_->cluster(), ost.node, node_, 0);
+  co_await net::respond(system_->cluster(), ost.node, node_, 0, op);
 }
 
 sim::Task<vos::Payload> LustreVfs::readStripe(std::uint64_t fid,
                                               int ost_global,
                                               std::uint64_t offset,
-                                              std::uint64_t length) {
+                                              std::uint64_t length,
+                                              obs::OpId op) {
   LustreSystem::Ost& ost = system_->ost(ost_global);
   co_await net::request(system_->cluster(), node_, ost.node,
-                        net::kSmallRequest);
-  co_await ost.cpu.exec(system_->config().ost_service_cpu);
+                        net::kSmallRequest, op);
+  co_await ost.cpu.exec(system_->config().ost_service_cpu, op);
   auto r = ost.store.extentRead(kLustreCont, fidOid(fid), "", "0", offset,
                                 length);
-  if (r.bytes_found > 0) co_await ost.device->read(r.bytes_found);
-  co_await net::respond(system_->cluster(), ost.node, node_, length);
+  if (r.bytes_found > 0) co_await ost.device->read(r.bytes_found, op);
+  co_await net::respond(system_->cluster(), ost.node, node_, length, op);
   co_return std::move(r.data);
 }
 
 sim::Task<std::uint64_t> LustreVfs::pwrite(posix::Fd fd, std::uint64_t offset,
                                            vos::Payload data) {
+  auto span = obs::beginOp(system_->cluster().sim(), "lustre.pwrite", node_,
+                           "lustre");
   Inode* inode = files_.at(fd);
   const auto& layout = inode->layout;
   std::vector<sim::Task<void>> ops;
@@ -208,7 +216,8 @@ sim::Task<std::uint64_t> LustreVfs::pwrite(posix::Fd fd, std::uint64_t offset,
         std::min(data.size() - pos, layout.stripe_size - in_stripe);
     const int ost = layout.osts[static_cast<std::size_t>(
         stripe_no % static_cast<std::uint64_t>(layout.stripe_count))];
-    ops.push_back(writeStripe(inode->fid, ost, abs, data.slice(pos, len)));
+    ops.push_back(
+        writeStripe(inode->fid, ost, abs, data.slice(pos, len), span.id()));
     pos += len;
   }
   if (ops.size() == 1) {
@@ -222,6 +231,8 @@ sim::Task<std::uint64_t> LustreVfs::pwrite(posix::Fd fd, std::uint64_t offset,
 
 sim::Task<vos::Payload> LustreVfs::pread(posix::Fd fd, std::uint64_t offset,
                                          std::uint64_t length) {
+  auto span = obs::beginOp(system_->cluster().sim(), "lustre.pread", node_,
+                           "lustre");
   Inode* inode = files_.at(fd);
   const auto& layout = inode->layout;
   struct Piece {
@@ -247,18 +258,18 @@ sim::Task<vos::Payload> LustreVfs::pread(posix::Fd fd, std::uint64_t offset,
   }
   if (subs.size() == 1) {
     co_return co_await readStripe(inode->fid, subs[0].ost, subs[0].abs,
-                                  subs[0].len);
+                                  subs[0].len, span.id());
   }
   std::vector<Piece> pieces(subs.size());
   std::vector<sim::Task<void>> ops;
   for (std::size_t i = 0; i < subs.size(); ++i) {
     ops.push_back(
-        [](LustreVfs* self, std::uint64_t fid, Sub sub,
-           Piece* out) -> sim::Task<void> {
+        [](LustreVfs* self, std::uint64_t fid, Sub sub, Piece* out,
+           obs::OpId op) -> sim::Task<void> {
           out->rel = sub.rel;
           out->data =
-              co_await self->readStripe(fid, sub.ost, sub.abs, sub.len);
-        }(this, inode->fid, subs[i], &pieces[i]));
+              co_await self->readStripe(fid, sub.ost, sub.abs, sub.len, op);
+        }(this, inode->fid, subs[i], &pieces[i], span.id()));
   }
   co_await sim::whenAll(system_->cluster().sim(), std::move(ops));
 
@@ -276,7 +287,9 @@ sim::Task<vos::Payload> LustreVfs::pread(posix::Fd fd, std::uint64_t offset,
 }
 
 sim::Task<posix::FileStat> LustreVfs::stat(std::string path) {
-  co_await mdsCall(/*mutation=*/false);
+  auto span = obs::beginOp(system_->cluster().sim(), "lustre.stat", node_,
+                           "lustre");
+  co_await mdsCall(/*mutation=*/false, span.id());
   Inode* inode = system_->find(path);
   if (inode == nullptr) throw std::runtime_error("lustre stat: no such path");
   co_return posix::FileStat{.is_directory = inode->is_directory,

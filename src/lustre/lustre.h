@@ -18,6 +18,7 @@
 
 #include "hw/cluster.h"
 #include "net/rpc.h"
+#include "obs/observer.h"
 #include "posix/vfs.h"
 #include "sim/queue_station.h"
 #include "vos/target_store.h"
@@ -80,7 +81,7 @@ class LustreSystem {
   // ---- MDS server-side handlers (run inside an RPC) --------------------
   /// One metadata service slot: queue on the MDS threads, service time,
   /// and (for mutations) a journal write to the MDS NVMe.
-  sim::Task<void> mdsOp(bool mutation);
+  sim::Task<void> mdsOp(bool mutation, obs::OpId op = 0);
 
   // Namespace state (guarded by the MDS being a single service).
   std::map<std::string, Inode>& namespaceMap() noexcept { return namespace_; }
@@ -134,12 +135,13 @@ class LustreVfs : public posix::Vfs {
 
  private:
   /// Metadata round trip to the MDS.
-  sim::Task<void> mdsCall(bool mutation);
+  sim::Task<void> mdsCall(bool mutation, obs::OpId op = 0);
   sim::Task<void> writeStripe(std::uint64_t fid, int ost_global,
-                              std::uint64_t offset, vos::Payload piece);
+                              std::uint64_t offset, vos::Payload piece,
+                              obs::OpId op);
   sim::Task<vos::Payload> readStripe(std::uint64_t fid, int ost_global,
                                      std::uint64_t offset,
-                                     std::uint64_t length);
+                                     std::uint64_t length, obs::OpId op);
 
   LustreSystem* system_;
   hw::NodeId node_;

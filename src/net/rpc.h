@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "hw/cluster.h"
+#include "obs/observer.h"
 #include "sim/task.h"
 
 namespace daosim::net {
@@ -30,17 +31,21 @@ inline constexpr std::uint64_t kSmallRequest = 384;
 inline constexpr std::uint64_t kSmallResponse = 256;
 
 /// Request leg: client -> server carrying `payload_bytes` of request body on
-/// top of the protocol header.
+/// top of the protocol header. A nonzero `op` records the transfer as a
+/// net-request leg of that op.
 inline sim::Task<void> request(hw::Cluster& cluster, hw::NodeId src,
-                               hw::NodeId dst, std::uint64_t payload_bytes) {
-  co_await cluster.send(src, dst, payload_bytes);
+                               hw::NodeId dst, std::uint64_t payload_bytes,
+                               obs::OpId op = 0) {
+  co_await cluster.send(src, dst, payload_bytes, op, obs::Cat::kNetRequest);
 }
 
 /// Response leg: server -> client carrying `payload_bytes` of response body
 /// plus the status header.
 inline sim::Task<void> respond(hw::Cluster& cluster, hw::NodeId src,
-                               hw::NodeId dst, std::uint64_t payload_bytes) {
-  co_await cluster.send(src, dst, payload_bytes + kSmallResponse);
+                               hw::NodeId dst, std::uint64_t payload_bytes,
+                               obs::OpId op = 0) {
+  co_await cluster.send(src, dst, payload_bytes + kSmallResponse, op,
+                        obs::Cat::kNetResponse);
 }
 
 }  // namespace daosim::net

@@ -1,0 +1,129 @@
+// Log-linear latency histogram (HDR-style).
+//
+// Values are bucketed by power-of-two octave, with kSubBuckets linear
+// sub-buckets per octave, bounding the relative quantization error at
+// 1/kSubBuckets (6.25%) while covering the full 64-bit nanosecond range in a
+// fixed-size array. add() is branch-light and allocation-free, so the
+// histogram can sit on simulator hot paths (queue stations, per-op latency
+// recording) without perturbing the run.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace daosim::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+  /// Values below kSubBuckets get one exact bucket each; every octave above
+  /// contributes kSubBuckets log-linear buckets.
+  static constexpr std::size_t kBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
+
+  /// Index of the bucket holding `v`. Exposed for bin-boundary tests.
+  static constexpr std::size_t bucketIndex(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int msb = 63 - std::countl_zero(v);
+    const std::uint64_t sub =
+        (v >> (msb - kSubBucketBits)) - kSubBuckets;  // in [0, kSubBuckets)
+    return static_cast<std::size_t>(
+        kSubBuckets +
+        static_cast<std::uint64_t>(msb - kSubBucketBits) * kSubBuckets + sub);
+  }
+
+  /// Lowest value mapped to bucket `i` (inclusive).
+  static constexpr std::uint64_t bucketLo(std::size_t i) noexcept {
+    if (i < kSubBuckets) return i;
+    const std::uint64_t octave = (i - kSubBuckets) / kSubBuckets;
+    const std::uint64_t sub = (i - kSubBuckets) % kSubBuckets;
+    return (kSubBuckets + sub) << octave;
+  }
+
+  /// Highest value mapped to bucket `i` (exclusive); saturates at the
+  /// maximum representable value for the top bucket, whose true bound
+  /// (2^64) does not fit in a uint64_t.
+  static constexpr std::uint64_t bucketHi(std::size_t i) noexcept {
+    if (i < kSubBuckets) return i + 1;
+    const std::uint64_t octave = (i - kSubBuckets) / kSubBuckets;
+    const std::uint64_t sub = (i - kSubBuckets) % kSubBuckets;
+    const std::uint64_t base = kSubBuckets + sub + 1;
+    if (octave >= 64 || (base << octave) >> octave != base) {
+      return ~std::uint64_t{0};
+    }
+    return base << octave;
+  }
+
+  void add(std::uint64_t v) noexcept {
+    ++counts_[bucketIndex(v)];
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+
+  void merge(const Histogram& other) noexcept {
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  double sum() const noexcept { return static_cast<double>(sum_); }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+
+  /// Value at percentile `p` in [0, 100], linearly interpolated within the
+  /// containing bucket; clamped to the recorded min/max so constant series
+  /// report their exact value. Returns 0 for an empty histogram.
+  double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (p <= 0.0) return static_cast<double>(min_);
+    if (p >= 100.0) return static_cast<double>(max_);
+    // Rank in [0, count): the p-th fraction of the ordered samples.
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts_[i] == 0) continue;
+      const std::uint64_t next = seen + counts_[i];
+      if (static_cast<double>(next) >= rank) {
+        const double within =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(counts_[i]);
+        const double lo = static_cast<double>(bucketLo(i));
+        const double hi = static_cast<double>(bucketHi(i));
+        double v = lo + within * (hi - lo);
+        if (v < static_cast<double>(min_)) v = static_cast<double>(min_);
+        if (v > static_cast<double>(max_)) v = static_cast<double>(max_);
+        return v;
+      }
+      seen = next;
+    }
+    return static_cast<double>(max_);
+  }
+
+  std::uint64_t bucketCount(std::size_t i) const noexcept {
+    return counts_[i];
+  }
+
+  void reset() noexcept { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = ~std::uint64_t{0};
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace daosim::obs

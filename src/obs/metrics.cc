@@ -1,0 +1,64 @@
+#include "obs/metrics.h"
+
+#include <iomanip>
+
+namespace daosim::obs {
+
+namespace {
+
+void histRows(std::ostream& os, const std::string& name, const Histogram& h) {
+  os << "histogram," << name << ",count," << h.count() << "\n";
+  os << "histogram," << name << ",min," << h.min() << "\n";
+  os << "histogram," << name << ",max," << h.max() << "\n";
+  os << "histogram," << name << ",mean," << h.mean() << "\n";
+  os << "histogram," << name << ",p50," << h.percentile(50) << "\n";
+  os << "histogram," << name << ",p95," << h.percentile(95) << "\n";
+  os << "histogram," << name << ",p99," << h.percentile(99) << "\n";
+}
+
+void histJson(std::ostream& os, const Histogram& h) {
+  os << "{\"count\":" << h.count() << ",\"min\":" << h.min()
+     << ",\"max\":" << h.max() << ",\"mean\":" << h.mean()
+     << ",\"p50\":" << h.percentile(50) << ",\"p95\":" << h.percentile(95)
+     << ",\"p99\":" << h.percentile(99) << "}";
+}
+
+}  // namespace
+
+void MetricsRegistry::writeCsv(std::ostream& os) const {
+  os << "# daosim-metrics schema=" << kMetricsSchemaVersion << "\n";
+  os << "kind,name,field,value\n";
+  for (const auto& [name, c] : counters_) {
+    os << "counter," << name << ",value," << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "gauge," << name << ",value," << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) histRows(os, name, h);
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  os << "{\n  \"schema\": " << kMetricsSchemaVersion << ",\n";
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    histJson(os, h);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+}  // namespace daosim::obs

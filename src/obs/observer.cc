@@ -1,0 +1,140 @@
+#include "obs/observer.h"
+
+#include <atomic>
+#include <iomanip>
+#include <string>
+
+namespace daosim::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_epoch{0};
+}  // namespace
+
+Observer::Observer() : epoch_(++g_epoch) {}
+
+Observer::~Observer() { detach(); }
+
+void Observer::attach(sim::Simulation& sim) {
+  detach();
+  sim_ = &sim;
+  sim.setObserver(this);
+}
+
+void Observer::detach() {
+  if (sim_ != nullptr && sim_->observer() == this) sim_->setObserver(nullptr);
+  sim_ = nullptr;
+}
+
+void Observer::enableTracing() {
+  if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+}
+
+sim::Time Observer::now() const noexcept {
+  return sim_ != nullptr ? sim_->now() : 0;
+}
+
+TrackId Observer::track(int pid, std::string_view name) {
+  enableTracing();  // tracks live in the tracer's registry
+  return tracer_->track(pid, name);
+}
+
+OpId Observer::beginOp(const char* /*type*/, TrackId /*track*/) {
+  const OpId op = next_op_++;
+  open_.emplace(op, OpenOp{});
+  return op;
+}
+
+void Observer::endOp(OpId op, const char* type, TrackId track,
+                     sim::Time start) {
+  const sim::Time end = now();
+  const sim::Time total = end - start;
+
+  auto open_it = open_.find(op);
+  OpTypeAgg& agg = op_types_[type];
+  ++agg.count;
+  agg.latency.add(total);
+  if (open_it != open_.end()) {
+    sim::Time covered = 0;
+    for (int c = 1; c < kCatCount; ++c) {  // skip kClient: it is the residual
+      agg.cat_ns[c] += open_it->second.cat_ns[c];
+      covered += open_it->second.cat_ns[c];
+    }
+    agg.cat_ns[0] += total > covered ? total - covered : 0;
+    open_.erase(open_it);
+  } else {
+    agg.cat_ns[0] += total;
+  }
+
+  if (tracer_ != nullptr) tracer_->span(track, op, type, start, end);
+}
+
+void Observer::leg(OpId op, Cat cat, TrackId track, const char* name,
+                   sim::Time start) {
+  if (op == 0) return;
+  const sim::Time end = now();
+  auto it = open_.find(op);
+  if (it != open_.end()) {
+    it->second.cat_ns[static_cast<int>(cat)] += end - start;
+  }
+  if (tracer_ != nullptr) tracer_->leg(track, op, name, cat, start, end);
+}
+
+void Observer::exportMetrics() {
+  for (const auto& [type, agg] : op_types_) {
+    metrics_.counter("op." + type + ".count").inc(agg.count);
+    metrics_.histogram("op." + type + ".latency_ns").merge(agg.latency);
+    for (int c = 0; c < kCatCount; ++c) {
+      if (agg.cat_ns[c] == 0) continue;
+      metrics_.counter("op." + type + "." + catName(static_cast<Cat>(c)) +
+                       "_ns")
+          .inc(agg.cat_ns[c]);
+    }
+  }
+}
+
+void Observer::writeChromeTrace(std::ostream& os) const {
+  if (tracer_ != nullptr) {
+    tracer_->writeChromeTrace(os);
+  } else {
+    os << "{\"schema\": " << kTraceSchemaVersion << ", \"traceEvents\": []}\n";
+  }
+}
+
+void Observer::writeBreakdown(std::ostream& os) const {
+  if (op_types_.empty()) return;
+  os << "-- per-op latency and layer breakdown --\n";
+  os << std::left << std::setw(18) << "op" << std::right << std::setw(8)
+     << "count" << std::setw(10) << "mean_us" << std::setw(9) << "p50_us"
+     << std::setw(9) << "p95_us" << std::setw(9) << "p99_us" << std::setw(9)
+     << "max_us";
+  for (int c = 0; c < kCatCount; ++c) {
+    if (static_cast<Cat>(c) == Cat::kOther) continue;
+    os << std::setw(13) << (std::string(catName(static_cast<Cat>(c))) + "%");
+  }
+  os << "\n";
+  const auto us = [](double ns) { return ns / 1000.0; };
+  for (const auto& [type, agg] : op_types_) {
+    os << std::left << std::setw(18) << type << std::right << std::setw(8)
+       << agg.count << std::fixed << std::setprecision(1) << std::setw(10)
+       << us(agg.latency.mean()) << std::setw(9)
+       << us(agg.latency.percentile(50)) << std::setw(9)
+       << us(agg.latency.percentile(95)) << std::setw(9)
+       << us(agg.latency.percentile(99)) << std::setw(9)
+       << us(static_cast<double>(agg.latency.max()));
+    std::uint64_t total = 0;
+    for (int c = 0; c < kCatCount; ++c) total += agg.cat_ns[c];
+    for (int c = 0; c < kCatCount; ++c) {
+      if (static_cast<Cat>(c) == Cat::kOther) continue;
+      const double pct =
+          total > 0 ? 100.0 * static_cast<double>(agg.cat_ns[c]) /
+                          static_cast<double>(total)
+                    : 0.0;
+      os << std::setw(12) << std::setprecision(1) << pct << " ";
+    }
+    os << "\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+  }
+}
+
+}  // namespace daosim::obs

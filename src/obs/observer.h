@@ -1,0 +1,160 @@
+// Observer: the single sink every instrumentation site in the simulator
+// guards on.
+//
+// `sim::Simulation` holds a raw `Observer*` that is null by default; each
+// hot-path hook is one `if (auto* o = sim.observer())` branch, so the
+// disabled cost is a pointer load and compare. When attached, the observer
+//   * assigns op ids and aggregates per-op-type latency histograms plus a
+//     category breakdown (client CPU / net request / server queue / service /
+//     device / net response) — always on, allocation-free per event;
+//   * optionally records every span and leg into a Tracer for chrome://tracing
+//     export (enableTracing(); off by default since event storage grows with
+//     the run).
+//
+// Ops are identified by explicit `OpId` values threaded through coroutine
+// parameters (plain data, safe under the GCC-12 closure-parameter rule); the
+// id 0 means "not traced" and instrumentation sites ignore it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/simulation.h"
+
+namespace daosim::obs {
+
+class Observer {
+ public:
+  Observer();
+  ~Observer();
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// Registers this observer as `sim`'s sink. One observer per simulation;
+  /// detaches automatically on destruction.
+  void attach(sim::Simulation& sim);
+  void detach();
+
+  /// Unique across all Observer instances in the process. Stations cache
+  /// their TrackId keyed by this epoch so a fresh observer (new rep) never
+  /// sees a stale id.
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Turns on span/leg event recording (for --trace). Aggregation and
+  /// metrics are always on while attached.
+  void enableTracing();
+  Tracer* tracer() noexcept { return tracer_.get(); }
+  const Tracer* tracer() const noexcept { return tracer_.get(); }
+
+  MetricsRegistry& metrics() noexcept { return metrics_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  sim::Time now() const noexcept;
+
+  TrackId track(int pid, std::string_view name);
+
+  /// Opens a new op of `type` (a string literal) on `track`; returns its id.
+  OpId beginOp(const char* type, TrackId track);
+
+  /// Closes `op`. `type`/`track`/`start` are carried by the caller (OpScope)
+  /// rather than stored per op, keeping the open-op table small.
+  void endOp(OpId op, const char* type, TrackId track, sim::Time start);
+
+  /// Records that `op` occupied `track` from `start` to now() as `cat`.
+  /// No-op for op 0 or an op that already ended.
+  void leg(OpId op, Cat cat, TrackId track, const char* name, sim::Time start);
+
+  /// Per-op-type aggregate: latency histogram plus summed per-category leg
+  /// time. kClient is the residual latency not covered by recorded legs.
+  struct OpTypeAgg {
+    std::uint64_t count = 0;
+    Histogram latency;                      // ns per op
+    std::uint64_t cat_ns[kCatCount] = {};  // summed leg time per category
+  };
+
+  /// Keyed by string literal identity-by-content (op types are literals).
+  const std::map<std::string, OpTypeAgg>& opTypes() const noexcept {
+    return op_types_;
+  }
+
+  std::uint64_t opsStarted() const noexcept { return next_op_ - 1; }
+
+  /// Folds per-op-type aggregates into metrics() as `op.<type>.*` entries.
+  void exportMetrics();
+
+  void writeChromeTrace(std::ostream& os) const;
+
+  /// Human-readable per-layer breakdown table: for each op type, count,
+  /// latency percentiles, and % of total time per category.
+  void writeBreakdown(std::ostream& os) const;
+
+ private:
+  struct OpenOp {
+    sim::Time cat_ns[kCatCount] = {};
+  };
+
+  std::uint64_t epoch_;
+  sim::Simulation* sim_ = nullptr;
+  std::unique_ptr<Tracer> tracer_;
+  MetricsRegistry metrics_;
+  OpId next_op_ = 1;
+  std::map<OpId, OpenOp> open_;
+  std::map<std::string, OpTypeAgg> op_types_;
+};
+
+/// RAII op span. Default-constructed (or moved-from) scopes are inert, so
+/// call sites stay a single line whether or not an observer is attached:
+///
+///   auto op = obs::beginOp(sim, "array.write", node_, "client3");
+///   ... co_await legs passing op.id() ...
+///   (destructor or op.end() closes the span at the current sim time)
+class OpScope {
+ public:
+  OpScope() = default;
+  OpScope(Observer* o, const char* type, TrackId track)
+      : o_(o), type_(type), track_(track), id_(o->beginOp(type, track)),
+        start_(o->now()) {}
+  OpScope(OpScope&& other) noexcept { *this = std::move(other); }
+  OpScope& operator=(OpScope&& other) noexcept {
+    end();
+    o_ = other.o_;
+    type_ = other.type_;
+    track_ = other.track_;
+    id_ = other.id_;
+    start_ = other.start_;
+    other.o_ = nullptr;
+    other.id_ = 0;
+    return *this;
+  }
+  ~OpScope() { end(); }
+
+  OpId id() const noexcept { return id_; }
+
+  void end() noexcept {
+    if (o_ != nullptr && id_ != 0) o_->endOp(id_, type_, track_, start_);
+    o_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  Observer* o_ = nullptr;
+  const char* type_ = nullptr;
+  TrackId track_ = 0;
+  OpId id_ = 0;
+  sim::Time start_ = 0;
+};
+
+/// Opens an op span if `sim` has an observer; inert OpScope otherwise.
+inline OpScope beginOp(sim::Simulation& sim, const char* type, int pid,
+                       std::string_view track_name) {
+  Observer* o = sim.observer();
+  if (o == nullptr) return {};
+  return OpScope(o, type, o->track(pid, track_name));
+}
+
+}  // namespace daosim::obs

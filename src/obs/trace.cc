@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace daosim::obs {
+
+const char* catName(Cat c) noexcept {
+  switch (c) {
+    case Cat::kClient:
+      return "client";
+    case Cat::kNetRequest:
+      return "net_request";
+    case Cat::kServerQueue:
+      return "server_queue";
+    case Cat::kService:
+      return "service";
+    case Cat::kDevice:
+      return "device";
+    case Cat::kNetResponse:
+      return "net_response";
+    case Cat::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+TrackId Tracer::track(int pid, std::string_view name) {
+  auto it = by_name_.find(std::make_pair(pid, name));
+  if (it != by_name_.end()) return it->second;
+  const TrackId id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(Track{pid, std::string(name)});
+  by_name_.emplace(std::make_pair(pid, std::string(name)), id);
+  return id;
+}
+
+namespace {
+
+// Timestamps in chrome trace JSON are microseconds; emit fractional µs so
+// nanosecond resolution survives the export.
+void writeMicros(std::ostream& os, sim::Time ns) {
+  os << ns / 1000;
+  const sim::Time frac = ns % 1000;
+  if (frac != 0) {
+    os << '.' << static_cast<char>('0' + frac / 100)
+       << static_cast<char>('0' + frac / 10 % 10)
+       << static_cast<char>('0' + frac % 10);
+  }
+}
+
+}  // namespace
+
+void Tracer::writeChromeTrace(std::ostream& os) const {
+  os << "{\"schema\": " << kTraceSchemaVersion
+     << ", \"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",\n";
+    first = false;
+    os << line;
+  };
+
+  // Metadata: name each simulated node (pid) and station/client (tid).
+  std::vector<int> pids;
+  for (const auto& t : tracks_) pids.push_back(t.pid);
+  std::sort(pids.begin(), pids.end());
+  pids.erase(std::unique(pids.begin(), pids.end()), pids.end());
+  for (int pid : pids) {
+    std::ostringstream ss;
+    ss << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"node" << pid << "\"}}";
+    emit(ss.str());
+  }
+  for (std::size_t tid = 0; tid < tracks_.size(); ++tid) {
+    std::ostringstream ss;
+    ss << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << tracks_[tid].pid
+       << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << tracks_[tid].name
+       << "\"}}";
+    emit(ss.str());
+  }
+
+  // Flatten: spans become async "b"/"e" pairs keyed by op id (overlapping
+  // ops from one process stay distinguishable), legs become complete "X"
+  // events. Each record carries its own timestamp so the file can be sorted
+  // time-monotone — the round-trip test relies on that ordering.
+  struct Record {
+    sim::Time ts;
+    std::string json;
+  };
+  std::vector<Record> records;
+  records.reserve(events_.size() * 2);
+  for (const TraceEvent& e : events_) {
+    const Track& t = tracks_[e.track];
+    if (e.is_span) {
+      std::ostringstream b;
+      b << "{\"ph\":\"b\",\"cat\":\"op\",\"id\":" << e.op << ",\"name\":\""
+        << e.name << "\",\"pid\":" << t.pid << ",\"tid\":" << e.track
+        << ",\"ts\":";
+      writeMicros(b, e.ts);
+      b << "}";
+      records.push_back(Record{e.ts, b.str()});
+      std::ostringstream x;
+      x << "{\"ph\":\"e\",\"cat\":\"op\",\"id\":" << e.op << ",\"name\":\""
+        << e.name << "\",\"pid\":" << t.pid << ",\"tid\":" << e.track
+        << ",\"ts\":";
+      writeMicros(x, e.ts + e.dur);
+      x << "}";
+      records.push_back(Record{e.ts + e.dur, x.str()});
+    } else {
+      std::ostringstream x;
+      x << "{\"ph\":\"X\",\"cat\":\"" << catName(e.cat) << "\",\"name\":\""
+        << e.name << "\",\"pid\":" << t.pid << ",\"tid\":" << e.track
+        << ",\"ts\":";
+      writeMicros(x, e.ts);
+      x << ",\"dur\":";
+      writeMicros(x, e.dur);
+      x << ",\"args\":{\"op\":" << e.op << "}}";
+      records.push_back(Record{e.ts, x.str()});
+    }
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const Record& a, const Record& b) { return a.ts < b.ts; });
+  for (const Record& r : records) emit(r.json);
+  os << "\n]}\n";
+}
+
+}  // namespace daosim::obs

@@ -1,0 +1,124 @@
+// Span tracer: deterministic (simulated-time) event recording with
+// chrome://tracing / Perfetto JSON export.
+//
+// Two event shapes:
+//   * op spans — one per client-API operation (array.write, dfuse.pread,
+//     rados.read, ...), exported as async "b"/"e" pairs keyed by the op id,
+//     so overlapping ops from one process (event-queue async I/O) stay
+//     well-formed;
+//   * legs — the time an op spent in one station of the pipeline (net
+//     request, server queue, xstream service, device, net response),
+//     exported as complete "X" events carrying the op id in args.
+//
+// Tracks follow the paper's topology: one pid per simulated node, one tid
+// per station/xstream/client. All timestamps are simulated nanoseconds, so
+// traces are bit-identical across runs with the same seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace daosim::obs {
+
+/// Version stamped as the first field of every trace dump.
+inline constexpr int kTraceSchemaVersion = 1;
+
+using OpId = std::uint64_t;
+using TrackId = std::uint32_t;
+
+/// Pipeline leg categories; kClient is the residual (op latency not covered
+/// by any recorded leg: client-side CPU, library overhead, local waits).
+enum class Cat : std::uint8_t {
+  kClient = 0,
+  kNetRequest,
+  kServerQueue,
+  kService,
+  kDevice,
+  kNetResponse,
+  kOther,
+};
+inline constexpr int kCatCount = 7;
+
+const char* catName(Cat c) noexcept;
+
+struct TraceEvent {
+  sim::Time ts = 0;
+  sim::Time dur = 0;
+  OpId op = 0;
+  TrackId track = 0;
+  const char* name = nullptr;  // static string (op type or leg name)
+  Cat cat = Cat::kOther;
+  bool is_span = false;  // true: async op span; false: "X" leg
+};
+
+class Tracer {
+ public:
+  /// Registers (or finds) the track `name` under process `pid`.
+  TrackId track(int pid, std::string_view name);
+
+  void span(TrackId track, OpId op, const char* type, sim::Time start,
+            sim::Time end) {
+    events_.push_back(TraceEvent{.ts = start,
+                                 .dur = end - start,
+                                 .op = op,
+                                 .track = track,
+                                 .name = type,
+                                 .cat = Cat::kClient,
+                                 .is_span = true});
+  }
+
+  void leg(TrackId track, OpId op, const char* name, Cat cat, sim::Time start,
+           sim::Time end) {
+    events_.push_back(TraceEvent{.ts = start,
+                                 .dur = end - start,
+                                 .op = op,
+                                 .track = track,
+                                 .name = name,
+                                 .cat = cat,
+                                 .is_span = false});
+  }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t trackCount() const noexcept { return tracks_.size(); }
+
+  /// Chrome-trace JSON: `{"schema": N, "traceEvents": [...]}` with one event
+  /// object per line (metadata first, then events sorted by timestamp).
+  void writeChromeTrace(std::ostream& os) const;
+
+ private:
+  struct Track {
+    int pid;
+    std::string name;
+  };
+
+  struct KeyLess {
+    using is_transparent = void;
+    bool operator()(const std::pair<int, std::string>& a,
+                    const std::pair<int, std::string_view>& b) const noexcept {
+      return a.first < b.first ||
+             (a.first == b.first && std::string_view(a.second) < b.second);
+    }
+    bool operator()(const std::pair<int, std::string_view>& a,
+                    const std::pair<int, std::string>& b) const noexcept {
+      return a.first < b.first ||
+             (a.first == b.first && a.second < std::string_view(b.second));
+    }
+    bool operator()(const std::pair<int, std::string>& a,
+                    const std::pair<int, std::string>& b) const noexcept {
+      return a.first < b.first || (a.first == b.first && a.second < b.second);
+    }
+  };
+
+  std::vector<Track> tracks_;
+  std::map<std::pair<int, std::string>, TrackId, KeyLess> by_name_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace daosim::obs

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "hw/spec.h"
+#include "obs/observer.h"
 
 namespace daosim::posix {
 
@@ -97,12 +98,14 @@ sim::Task<void> DfsVfs::close(Fd fd) {
 
 sim::Task<std::uint64_t> DfsVfs::pwrite(Fd fd, std::uint64_t offset,
                                         Payload data) {
+  auto span = fs_.client().beginOp("dfs.pwrite");
   co_await fs_.client().sim().delay(kDfsCpu);
   co_return co_await fs_.write(files_.at(fd), offset, std::move(data));
 }
 
 sim::Task<Payload> DfsVfs::pread(Fd fd, std::uint64_t offset,
                                  std::uint64_t length) {
+  auto span = fs_.client().beginOp("dfs.pread");
   co_await fs_.client().sim().delay(kDfsCpu);
   co_return co_await fs_.read(files_.at(fd), offset, length);
 }
@@ -160,8 +163,9 @@ sim::Task<void> DfuseVfs::crossing() {
 }
 
 sim::Task<Fd> DfuseVfs::open(std::string path, OpenFlags flags) {
+  auto span = daemon_->fs().client().beginOp("dfuse.open");
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter(span.id());
   std::exception_ptr err;
   std::optional<dfs::File> f;
   try {
@@ -180,7 +184,7 @@ sim::Task<Fd> DfuseVfs::open(std::string path, OpenFlags flags) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held, span.id());
   co_await crossing();
   if (err) std::rethrow_exception(err);
 
@@ -188,14 +192,14 @@ sim::Task<Fd> DfuseVfs::open(std::string path, OpenFlags flags) {
   if (flags.append) {
     // O_APPEND initial position comes from the open response attributes.
     co_await crossing();
-    co_await daemon_->threads().enter();
+    const sim::Time held2 = co_await daemon_->threads().enter(span.id());
     std::uint64_t size = 0;
     try {
       size = co_await daemon_->fs().size(*f);
     } catch (...) {
       err = std::current_exception();
     }
-    daemon_->threads().leave();
+    daemon_->threads().leave(held2, span.id());
     co_await crossing();
     if (err) std::rethrow_exception(err);
     cursor(fd).offset = size;
@@ -215,8 +219,9 @@ sim::Task<void> DfuseVfs::close(Fd fd) {
 sim::Task<std::uint64_t> DfuseVfs::pwrite(Fd fd, std::uint64_t offset,
                                           Payload data) {
   const auto& cfg = daemon_->config();
+  auto span = daemon_->fs().client().beginOp("dfuse.pwrite");
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter(span.id());
   std::exception_ptr err;
   std::uint64_t n = 0;
   try {
@@ -227,7 +232,7 @@ sim::Task<std::uint64_t> DfuseVfs::pwrite(Fd fd, std::uint64_t offset,
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held, span.id());
   co_await crossing();
   if (err) std::rethrow_exception(err);
   co_return n;
@@ -242,8 +247,9 @@ sim::Task<Payload> DfuseVfs::pread(Fd fd, std::uint64_t offset,
                                   hw::transferTime(length, cfg.copy_gibps));
     co_return *hit;
   }
+  auto span = daemon_->fs().client().beginOp("dfuse.pread");
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter(span.id());
   std::exception_ptr err;
   Payload p;
   try {
@@ -254,7 +260,7 @@ sim::Task<Payload> DfuseVfs::pread(Fd fd, std::uint64_t offset,
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held, span.id());
   co_await crossing();
   if (err) std::rethrow_exception(err);
   co_return p;
@@ -267,8 +273,9 @@ sim::Task<FileStat> DfuseVfs::stat(std::string path) {
     co_await daemon_->sim().delay(cfg.cache_hit_cpu);
     co_return *hit;
   }
+  auto span = daemon_->fs().client().beginOp("dfuse.stat");
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter(span.id());
   std::exception_ptr err;
   FileStat st;
   try {
@@ -277,7 +284,7 @@ sim::Task<FileStat> DfuseVfs::stat(std::string path) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held, span.id());
   co_await crossing();
   if (err) std::rethrow_exception(err);
   daemon_->attrStore(path, st);
@@ -286,7 +293,7 @@ sim::Task<FileStat> DfuseVfs::stat(std::string path) {
 
 sim::Task<FileStat> DfuseVfs::fstat(Fd fd) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   FileStat st;
   try {
@@ -295,7 +302,7 @@ sim::Task<FileStat> DfuseVfs::fstat(Fd fd) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
   co_return st;
@@ -310,7 +317,7 @@ sim::Task<void> DfuseVfs::fsync(Fd) {
 
 sim::Task<void> DfuseVfs::mkdir(std::string path) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   try {
     co_await daemon_->sim().delay(daemon_->config().thread_cpu);
@@ -318,14 +325,14 @@ sim::Task<void> DfuseVfs::mkdir(std::string path) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
 }
 
 sim::Task<void> DfuseVfs::mkdirs(std::string path) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   try {
     co_await daemon_->sim().delay(daemon_->config().thread_cpu);
@@ -333,14 +340,14 @@ sim::Task<void> DfuseVfs::mkdirs(std::string path) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
 }
 
 sim::Task<void> DfuseVfs::unlink(std::string path) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   try {
     co_await daemon_->sim().delay(daemon_->config().thread_cpu);
@@ -348,7 +355,7 @@ sim::Task<void> DfuseVfs::unlink(std::string path) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
   daemon_->invalidate(path);
@@ -356,7 +363,7 @@ sim::Task<void> DfuseVfs::unlink(std::string path) {
 
 sim::Task<std::vector<std::string>> DfuseVfs::readdir(std::string path) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   std::vector<std::string> names;
   try {
@@ -365,7 +372,7 @@ sim::Task<std::vector<std::string>> DfuseVfs::readdir(std::string path) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
   co_return names;
@@ -373,7 +380,7 @@ sim::Task<std::vector<std::string>> DfuseVfs::readdir(std::string path) {
 
 sim::Task<void> DfuseVfs::truncate(std::string path, std::uint64_t size) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   try {
     co_await daemon_->sim().delay(daemon_->config().thread_cpu);
@@ -381,7 +388,7 @@ sim::Task<void> DfuseVfs::truncate(std::string path, std::uint64_t size) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
   daemon_->invalidate(path);
@@ -389,7 +396,7 @@ sim::Task<void> DfuseVfs::truncate(std::string path, std::uint64_t size) {
 
 sim::Task<void> DfuseVfs::rename(std::string from, std::string to) {
   co_await crossing();
-  co_await daemon_->threads().enter();
+  const sim::Time held = co_await daemon_->threads().enter();
   std::exception_ptr err;
   try {
     co_await daemon_->sim().delay(daemon_->config().thread_cpu);
@@ -397,7 +404,7 @@ sim::Task<void> DfuseVfs::rename(std::string from, std::string to) {
   } catch (...) {
     err = std::current_exception();
   }
-  daemon_->threads().leave();
+  daemon_->threads().leave(held);
   co_await crossing();
   if (err) std::rethrow_exception(err);
   daemon_->invalidate(from);
@@ -433,12 +440,14 @@ sim::Task<void> InterceptVfs::close(Fd fd) {
 
 sim::Task<std::uint64_t> InterceptVfs::pwrite(Fd fd, std::uint64_t offset,
                                               Payload data) {
+  auto span = fs_.client().beginOp("il.pwrite");
   co_await fs_.client().sim().delay(il_cpu_);
   co_return co_await fs_.write(files_.at(fd), offset, std::move(data));
 }
 
 sim::Task<Payload> InterceptVfs::pread(Fd fd, std::uint64_t offset,
                                        std::uint64_t length) {
+  auto span = fs_.client().beginOp("il.pread");
   co_await fs_.client().sim().delay(il_cpu_);
   co_return co_await fs_.read(files_.at(fd), offset, length);
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hw/spec.h"
+#include "obs/observer.h"
 #include "sim/sync.h"
 #include "placement/layout.h"
 #include "placement/oid.h"
@@ -37,6 +38,7 @@ CephCluster::CephCluster(hw::Cluster& cluster,
           cluster.sim(), node, n.drive(static_cast<std::size_t>(i)),
           "osd" + std::to_string(osds_.size()), config.osd_op_threads,
           config.retain_data));
+      osds_.back()->op_threads.setTracePid(node);
     }
   }
 }
@@ -96,11 +98,11 @@ namespace {
 /// Persist one replica of a write on an OSD (op pipeline + device).
 sim::Task<void> persistOnOsd(CephCluster* ceph, CephCluster::Osd* osd,
                              std::string object, std::uint64_t offset,
-                             vos::Payload data) {
-  co_await osd->op_threads.exec(ceph->config().osd_op_cpu);
+                             vos::Payload data, obs::OpId op) {
+  co_await osd->op_threads.exec(ceph->config().osd_op_cpu, op);
   const auto amplified = static_cast<std::uint64_t>(
       static_cast<double>(data.size()) * ceph->config().write_amplification);
-  co_await osd->device->write(amplified);
+  co_await osd->device->write(amplified, op);
   osd->store.extentWrite(kRadosPool, objectOid(object), "", "0", offset,
                          std::move(data));
 }
@@ -108,13 +110,14 @@ sim::Task<void> persistOnOsd(CephCluster* ceph, CephCluster::Osd* osd,
 /// Replicate a write from the primary to one secondary OSD.
 sim::Task<void> replicateToOsd(CephCluster* ceph, hw::NodeId primary_node,
                                int osd_id, std::string object,
-                               std::uint64_t offset, vos::Payload data) {
+                               std::uint64_t offset, vos::Payload data,
+                               obs::OpId op) {
   CephCluster::Osd& sec = ceph->osd(osd_id);
   co_await net::request(ceph->cluster(), primary_node, sec.node,
-                        net::kSmallRequest + object.size() + data.size());
+                        net::kSmallRequest + object.size() + data.size(), op);
   co_await persistOnOsd(ceph, &sec, std::move(object), offset,
-                        std::move(data));
-  co_await net::respond(ceph->cluster(), sec.node, primary_node, 0);
+                        std::move(data), op);
+  co_await net::respond(ceph->cluster(), sec.node, primary_node, 0, op);
 }
 
 }  // namespace
@@ -124,35 +127,40 @@ sim::Task<void> RadosClient::write(std::string object, std::uint64_t offset,
   if (offset + data.size() > ceph_->config().max_object_bytes) {
     throw std::invalid_argument("rados write: beyond max object size");
   }
+  auto span = obs::beginOp(ceph_->cluster().sim(), "rados.write", node_,
+                           "rados");
   const std::vector<int> up = ceph_->upSet(ceph_->pgOf(object));
   CephCluster::Osd& primary = ceph_->osd(up.front());
   co_await net::request(ceph_->cluster(), node_, primary.node,
-                        net::kSmallRequest + object.size() + data.size());
+                        net::kSmallRequest + object.size() + data.size(),
+                        span.id());
   // The primary persists locally and forwards to the secondaries in
   // parallel; the client ack waits for the whole up set.
   std::vector<sim::Task<void>> ops;
-  ops.push_back(persistOnOsd(ceph_, &primary, object, offset, data));
+  ops.push_back(persistOnOsd(ceph_, &primary, object, offset, data, span.id()));
   for (std::size_t r = 1; r < up.size(); ++r) {
     ops.push_back(replicateToOsd(ceph_, primary.node, up[r], object, offset,
-                                 data));
+                                 data, span.id()));
   }
   if (ops.size() == 1) {
     co_await std::move(ops.front());
   } else {
     co_await sim::whenAll(ceph_->cluster().sim(), std::move(ops));
   }
-  co_await net::respond(ceph_->cluster(), primary.node, node_, 0);
+  co_await net::respond(ceph_->cluster(), primary.node, node_, 0, span.id());
 }
 
 sim::Task<vos::Payload> RadosClient::read(std::string object,
                                           std::uint64_t offset,
                                           std::uint64_t length) {
+  auto span = obs::beginOp(ceph_->cluster().sim(), "rados.read", node_,
+                           "rados");
   CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
   co_await net::request(ceph_->cluster(), node_, osd.node,
-                        net::kSmallRequest + object.size());
+                        net::kSmallRequest + object.size(), span.id());
   // The OSD op thread is held for the pipeline work (crc, copies); the
   // device read queues independently underneath.
-  co_await osd.op_threads.enter();
+  const sim::Time held = co_await osd.op_threads.enter(span.id());
   std::exception_ptr err;
   vos::ExtentTree::ReadResult r;
   try {
@@ -161,13 +169,13 @@ sim::Task<vos::Payload> RadosClient::read(std::string object,
         hw::transferTime(length, ceph_->config().read_path_gibps));
     r = osd.store.extentRead(kRadosPool, objectOid(object), "", "0", offset,
                              length);
-    if (r.bytes_found > 0) co_await osd.device->read(r.bytes_found);
+    if (r.bytes_found > 0) co_await osd.device->read(r.bytes_found, span.id());
   } catch (...) {
     err = std::current_exception();
   }
-  osd.op_threads.leave();
+  osd.op_threads.leave(held, span.id());
   if (err) std::rethrow_exception(err);
-  co_await net::respond(ceph_->cluster(), osd.node, node_, length);
+  co_await net::respond(ceph_->cluster(), osd.node, node_, length, span.id());
   co_return std::move(r.data);
 }
 

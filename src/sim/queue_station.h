@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/observer.h"
 #include "sim/simulation.h"
 #include "sim/stats.h"
 #include "sim/sync.h"
@@ -24,34 +25,74 @@ class QueueStation {
   QueueStation(Simulation& sim, std::string name, int servers)
       : sim_(&sim), name_(std::move(name)), sem_(sim, servers) {}
 
-  /// Occupies one server for `service` time, FIFO-queued.
-  Task<void> exec(Time service) {
+  /// Occupies one server for `service` time, FIFO-queued. `op` (if nonzero
+  /// and an observer is attached) gets queue-wait and service legs recorded.
+  Task<void> exec(Time service, obs::OpId op = 0) {
     const Time queued_at = sim_->now();
     co_await sem_.acquire();
-    wait_ns_ += sim_->now() - queued_at;
+    const Time acquired_at = sim_->now();
+    wait_ns_ += acquired_at - queued_at;
+    if (obs::Observer* o = sim_->observer()) {
+      wait_hist_.add(acquired_at - queued_at);
+      if (op != 0) {
+        o->leg(op, obs::Cat::kServerQueue, obsTrack(o), "queue", queued_at);
+      }
+    }
     co_await sim_->delay(service);
     sem_.release();
     busy_ns_ += service;
     ++ops_;
+    if (op != 0) {
+      if (obs::Observer* o = sim_->observer()) {
+        o->leg(op, obs::Cat::kService, obsTrack(o), "service", acquired_at);
+      }
+    }
   }
 
   /// Manually occupies a server for work whose duration is not known up
-  /// front (e.g. a FUSE thread held across a backend operation). Pair with
-  /// leave(); prefer exec() where possible. Busy-time stats are not
-  /// accumulated for manually held servers.
-  sim::Task<void> enter() {
+  /// front (e.g. a FUSE thread held across a backend operation). Returns the
+  /// acquisition time; pass it to leave() so the hold is accumulated into
+  /// busy time. Prefer exec() where possible.
+  sim::Task<Time> enter(obs::OpId op = 0) {
     const Time queued_at = sim_->now();
     co_await sem_.acquire();
-    wait_ns_ += sim_->now() - queued_at;
+    const Time acquired_at = sim_->now();
+    wait_ns_ += acquired_at - queued_at;
     ++ops_;
+    if (obs::Observer* o = sim_->observer()) {
+      wait_hist_.add(acquired_at - queued_at);
+      if (op != 0) {
+        o->leg(op, obs::Cat::kServerQueue, obsTrack(o), "queue", queued_at);
+      }
+    }
+    co_return acquired_at;
   }
-  void leave() { sem_.release(); }
+
+  /// Releases a server taken with enter(), accumulating the hold duration
+  /// into busy time (`acquired_at` is enter()'s return value).
+  void leave(Time acquired_at, obs::OpId op = 0) {
+    sem_.release();
+    busy_ns_ += sim_->now() - acquired_at;
+    if (op != 0) {
+      if (obs::Observer* o = sim_->observer()) {
+        o->leg(op, obs::Cat::kService, obsTrack(o), "service", acquired_at);
+      }
+    }
+  }
 
   const std::string& name() const noexcept { return name_; }
   std::uint64_t ops() const noexcept { return ops_; }
   Time busyTime() const noexcept { return busy_ns_; }
   Time totalWait() const noexcept { return wait_ns_; }
   std::size_t queueLength() const noexcept { return sem_.waiting(); }
+
+  /// Queue-wait distribution in ns; populated only while an observer is
+  /// attached to the simulation.
+  const obs::Histogram& waitHistogram() const noexcept { return wait_hist_; }
+
+  /// Node id used as the chrome-trace pid for this station's track.
+  void setTracePid(int pid) noexcept { trace_pid_ = pid; }
+  int tracePid() const noexcept { return trace_pid_; }
 
   /// Mean queueing delay per operation, in ns.
   double meanWait() const noexcept {
@@ -70,15 +111,30 @@ class QueueStation {
     ops_ = 0;
     busy_ns_ = 0;
     wait_ns_ = 0;
+    wait_hist_.reset();
   }
 
  private:
+  /// Track id for this station, cached per observer epoch so a fresh
+  /// observer (e.g. a new rep) never sees a stale id.
+  obs::TrackId obsTrack(obs::Observer* o) {
+    if (track_epoch_ != o->epoch()) {
+      track_ = o->track(trace_pid_, name_);
+      track_epoch_ = o->epoch();
+    }
+    return track_;
+  }
+
   Simulation* sim_;
   std::string name_;
   Semaphore sem_;
   std::uint64_t ops_ = 0;
   Time busy_ns_ = 0;
   Time wait_ns_ = 0;
+  obs::Histogram wait_hist_;
+  int trace_pid_ = 0;
+  obs::TrackId track_ = 0;
+  std::uint64_t track_epoch_ = 0;
 };
 
 }  // namespace daosim::sim

@@ -18,6 +18,10 @@
 #include "sim/task.h"
 #include "sim/time.h"
 
+namespace daosim::obs {
+class Observer;
+}  // namespace daosim::obs
+
 namespace daosim::sim {
 
 class Simulation;
@@ -144,6 +148,12 @@ class Simulation {
   std::size_t pendingEvents() const noexcept { return queue_.size(); }
   std::size_t processedEvents() const noexcept { return processed_; }
 
+  /// Observability sink; null (the default) disables all instrumentation.
+  /// Every instrumentation site guards on this one pointer, so a run without
+  /// an observer pays a single predictable branch per potential event.
+  obs::Observer* observer() const noexcept { return observer_; }
+  void setObserver(obs::Observer* o) noexcept { observer_ = o; }
+
  private:
   struct Item {
     Time t;
@@ -164,6 +174,7 @@ class Simulation {
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
   Rng rng_;
+  obs::Observer* observer_ = nullptr;
 };
 
 }  // namespace daosim::sim

@@ -64,10 +64,10 @@ TEST(SimCorners, QueueStationEnterLeavePreservesFifoOrder) {
     sim.spawn([](sim::Simulation& s, sim::QueueStation& st,
                  std::vector<int>& o, int id) -> Task<void> {
       co_await s.delay(static_cast<sim::Time>(id) * 1_us);
-      co_await st.enter();
+      const sim::Time held = co_await st.enter();
       co_await s.delay(10_us);  // held across arbitrary work
       o.push_back(id);
-      st.leave();
+      st.leave(held);
     }(sim, st, order, i));
   }
   sim.run();

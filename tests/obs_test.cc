@@ -1,0 +1,383 @@
+// Observability subsystem tests: histogram binning and percentiles, metrics
+// export schema, tracer event structure, queue-station busy accounting under
+// enter/leave, and an end-to-end Chrome-trace round trip that parses the
+// exported JSON back and validates the span tree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daos/array.h"
+#include "daos/client.h"
+#include "daos/system.h"
+#include "hw/cluster.h"
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+#include "sim/queue_station.h"
+#include "sim/simulation.h"
+#include "vos/payload.h"
+
+namespace daosim {
+namespace {
+
+using obs::Histogram;
+using sim::Task;
+using namespace sim::literals;
+
+// --- histogram -------------------------------------------------------------
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(Histogram, SingleValueAtEveryPercentile) {
+  Histogram h;
+  h.add(4711);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 4711u);
+  EXPECT_EQ(h.max(), 4711u);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 4711.0) << "p=" << p;
+  }
+}
+
+TEST(Histogram, ConstantSeriesReportsExactValue) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(123456);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 123456.0);
+  // Percentiles clamp to the recorded min/max, so quantization within the
+  // containing bucket never leaks into a constant series.
+  EXPECT_DOUBLE_EQ(h.percentile(50), 123456.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 123456.0);
+}
+
+TEST(Histogram, BucketBoundariesContainTheirValues) {
+  const std::uint64_t samples[] = {
+      0,  1,  15, 16,  17,  31,   32,   255,  256, 1000, 1023, 1024,
+      (1ULL << 20) - 1, 1ULL << 20, (1ULL << 40) + 12345, ~std::uint64_t{0}};
+  for (std::uint64_t v : samples) {
+    const std::size_t i = Histogram::bucketIndex(v);
+    ASSERT_LT(i, Histogram::kBuckets) << v;
+    EXPECT_LE(Histogram::bucketLo(i), v) << v;
+    if (v != ~std::uint64_t{0}) {
+      EXPECT_GT(Histogram::bucketHi(i), v) << v;
+    } else {
+      // The top bucket's exclusive bound saturates at UINT64_MAX.
+      EXPECT_EQ(Histogram::bucketHi(i), v);
+    }
+  }
+}
+
+TEST(Histogram, BucketsTileTheRangeWithBoundedError) {
+  // Buckets must be adjacent (no gaps/overlaps) and, beyond the exact
+  // region, no wider than 1/kSubBuckets of their lower bound (6.25%).
+  for (std::size_t i = 0; i + 1 < 40 * Histogram::kSubBuckets; ++i) {
+    EXPECT_EQ(Histogram::bucketHi(i), Histogram::bucketLo(i + 1)) << i;
+    if (i >= Histogram::kSubBuckets) {
+      const std::uint64_t lo = Histogram::bucketLo(i);
+      const std::uint64_t width = Histogram::bucketHi(i) - lo;
+      EXPECT_LE(width * Histogram::kSubBuckets, lo) << i;
+    }
+  }
+}
+
+TEST(Histogram, PercentileInterpolatesWithinTolerance) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.add(v);
+  // Relative quantization error is bounded by 1/16; allow a bit of slack
+  // for the interpolation itself.
+  EXPECT_NEAR(h.percentile(50), 500.0, 500.0 / 10);
+  EXPECT_NEAR(h.percentile(95), 950.0, 950.0 / 10);
+  EXPECT_NEAR(h.percentile(99), 990.0, 990.0 / 10);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+}
+
+TEST(Histogram, MergeMatchesCombinedHistogram) {
+  Histogram a, b, both;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.add(v * 3);
+    both.add(v * 3);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.add(v * 7 + 1);
+    both.add(v * 7 + 1);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.sum(), both.sum());
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    ASSERT_EQ(a.bucketCount(i), both.bucketCount(i)) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.percentile(50), both.percentile(50));
+}
+
+TEST(Histogram, MergeWithEmptyKeepsMinMax) {
+  Histogram a, empty;
+  a.add(10);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 10u);
+}
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CsvHasSchemaHeader) {
+  obs::MetricsRegistry reg;
+  reg.counter("ops.total").inc(5);
+  reg.gauge("queue.depth").set(2.5);
+  reg.histogram("lat").add(100);
+  std::ostringstream os;
+  reg.writeCsv(os);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("# daosim-metrics schema=1\n", 0), 0u) << out;
+  EXPECT_NE(out.find("counter,ops.total,value,5"), std::string::npos) << out;
+  EXPECT_NE(out.find("histogram,lat,count,1"), std::string::npos) << out;
+}
+
+TEST(Metrics, JsonHasSchemaField) {
+  obs::MetricsRegistry reg;
+  reg.counter("a").inc(1);
+  std::ostringstream os;
+  reg.writeJson(os);
+  const std::string out = os.str();
+  const auto schema = out.find("\"schema\": 1");
+  ASSERT_NE(schema, std::string::npos) << out;
+  // Schema version leads the document, before any metric content.
+  EXPECT_LT(schema, out.find("\"counters\"")) << out;
+}
+
+// --- queue station enter/leave accounting ----------------------------------
+
+sim::Task<void> holdStation(sim::Simulation* s, sim::QueueStation* st,
+                            sim::Time hold) {
+  const sim::Time held = co_await st->enter();
+  co_await s->delay(hold);
+  st->leave(held);
+}
+
+TEST(QueueStation, EnterLeaveAccountsHeldTimeAsBusy) {
+  sim::Simulation sim;
+  sim::QueueStation st(sim, "s", 1);
+  sim.spawn(holdStation(&sim, &st, 10_us));
+  sim.spawn(holdStation(&sim, &st, 5_us));
+  sim.run();
+  // One server: 10us + 5us of held time, regardless of queueing.
+  EXPECT_EQ(st.busyTime(), 15_us);
+  EXPECT_EQ(st.ops(), 2u);
+  EXPECT_DOUBLE_EQ(st.utilization(sim.now()), 1.0);
+}
+
+TEST(QueueStation, WaitHistogramRecordsQueueingWhenObserved) {
+  sim::Simulation sim;
+  obs::Observer obs;
+  obs.attach(sim);
+  sim::QueueStation st(sim, "s", 1);
+  sim.spawn(holdStation(&sim, &st, 10_us));
+  sim.spawn(holdStation(&sim, &st, 10_us));  // queues behind the first
+  sim.run();
+  ASSERT_EQ(st.waitHistogram().count(), 2u);
+  EXPECT_EQ(st.waitHistogram().min(), 0u);
+  EXPECT_EQ(st.waitHistogram().max(), static_cast<std::uint64_t>(10_us));
+}
+
+// --- tracer ----------------------------------------------------------------
+
+TEST(Tracer, EmitsMatchedSpansAndMonotoneTimestamps) {
+  obs::Tracer tr;
+  const obs::TrackId t0 = tr.track(0, "client");
+  const obs::TrackId t1 = tr.track(1, "net");
+  tr.span(t0, /*op=*/1, "op.a", /*start=*/100, /*end=*/500);
+  tr.leg(t1, /*op=*/1, "send", obs::Cat::kNetRequest, 150, 250);
+  tr.span(t0, /*op=*/2, "op.b", 200, 300);
+  EXPECT_EQ(tr.trackCount(), 2u);
+  std::ostringstream os;
+  tr.writeChromeTrace(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"schema\": 1"), std::string::npos);
+  // "e" for op 1 (ts 0.5us) must come after "b" of op 2 (ts 0.2us).
+  const auto b2 = out.find("\"ph\":\"b\",\"cat\":\"op\",\"id\":2");
+  const auto e1 = out.find("\"ph\":\"e\",\"cat\":\"op\",\"id\":1");
+  ASSERT_NE(b2, std::string::npos);
+  ASSERT_NE(e1, std::string::npos);
+  EXPECT_LT(b2, e1);
+}
+
+// --- end-to-end round trip -------------------------------------------------
+
+// Minimal line-based parser for the exporter's one-object-per-line JSON.
+struct ParsedEvent {
+  std::string ph;
+  std::string cat;
+  std::string name;
+  double ts = -1;
+  std::uint64_t id = 0;  // span id or leg "args":{"op":N}
+  bool has_ts = false;
+};
+
+std::string strField(const std::string& line, const std::string& key) {
+  const std::string pat = "\"" + key + "\":\"";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return {};
+  const auto start = p + pat.size();
+  return line.substr(start, line.find('"', start) - start);
+}
+
+bool numField(const std::string& line, const std::string& key, double* out) {
+  const std::string pat = "\"" + key + "\":";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + p + pat.size(), nullptr);
+  return true;
+}
+
+std::vector<ParsedEvent> parseTrace(const std::string& json,
+                                    std::string* error) {
+  std::vector<ParsedEvent> events;
+  std::istringstream is(json);
+  std::string line;
+  std::getline(is, line);
+  if (line.find("\"schema\": 1") == std::string::npos) {
+    *error = "missing schema header: " + line;
+    return events;
+  }
+  while (std::getline(is, line)) {
+    if (line.rfind("{\"ph\"", 0) != 0) continue;
+    ParsedEvent e;
+    e.ph = strField(line, "ph");
+    e.cat = strField(line, "cat");
+    e.name = strField(line, "name");
+    double v = 0;
+    if (numField(line, "ts", &v)) {
+      e.ts = v;
+      e.has_ts = true;
+    }
+    if (numField(line, "id", &v) || numField(line, "op", &v)) {
+      e.id = static_cast<std::uint64_t>(v);
+    }
+    events.push_back(e);
+  }
+  return events;
+}
+
+sim::Task<void> arrayWorkload(daos::Client* c) {
+  co_await c->poolConnect();
+  daos::Container cont = co_await c->contCreate("obs");
+  daos::Array arr = co_await daos::Array::create(
+      *c, cont, c->nextOid(placement::ObjClass::SX), daos::Array::Attrs{});
+  co_await arr.write(0, vos::Payload::synthetic(256 * 1024));
+  vos::Payload p = co_await arr.read(0, 256 * 1024);
+  (void)p;
+}
+
+TEST(TraceRoundTrip, ExportedTraceHasWellFormedSpanTree) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto servers = cluster.addNodes(hw::NodeSpec::server(), 2);
+  const hw::NodeId client_node = cluster.addNode(hw::NodeSpec::client());
+  daos::DaosSystem system(cluster, servers);
+  daos::Client client(system, client_node, /*id=*/1);
+
+  obs::Observer obs;
+  obs.attach(sim);
+  obs.enableTracing();
+  auto h = sim.spawn(arrayWorkload(&client));
+  sim.run();
+  ASSERT_FALSE(h.failed());
+  ASSERT_GE(obs.opsStarted(), 2u);  // at least array.write + array.read
+
+  std::ostringstream os;
+  obs.writeChromeTrace(os);
+  std::string error;
+  const std::vector<ParsedEvent> events = parseTrace(os.str(), &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(events.empty());
+
+  // Every "e" matches an open "b" of the same id; every "b" is closed.
+  std::set<std::uint64_t> open;
+  std::map<std::uint64_t, std::set<std::string>> legs_by_op;
+  double last_ts = 0;
+  bool saw_span = false;
+  for (const ParsedEvent& e : events) {
+    if (e.has_ts) {
+      EXPECT_GE(e.ts, last_ts) << "timestamps not monotone in file order";
+      last_ts = e.ts;
+    }
+    if (e.ph == "b") {
+      EXPECT_TRUE(open.insert(e.id).second) << "duplicate open id " << e.id;
+      saw_span = true;
+    } else if (e.ph == "e") {
+      EXPECT_EQ(open.erase(e.id), 1u) << "exit without enter, id " << e.id;
+    } else if (e.ph == "X") {
+      legs_by_op[e.id].insert(e.cat);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(open.empty()) << open.size() << " spans never closed";
+
+  // At least one op covers the whole path: client RPC request, server-side
+  // work (queue or service), device I/O, and the response leg.
+  bool full_path = false;
+  for (const auto& [op, cats] : legs_by_op) {
+    if (cats.count("net_request") &&
+        (cats.count("server_queue") || cats.count("service")) &&
+        cats.count("device") && cats.count("net_response")) {
+      full_path = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(full_path)
+      << "no op with client->RPC->server->device->response coverage";
+}
+
+TEST(TraceRoundTrip, MetricsExportAggregatesOps) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto servers = cluster.addNodes(hw::NodeSpec::server(), 2);
+  const hw::NodeId client_node = cluster.addNode(hw::NodeSpec::client());
+  daos::DaosSystem system(cluster, servers);
+  daos::Client client(system, client_node, /*id=*/1);
+
+  obs::Observer obs;
+  obs.attach(sim);
+  auto h = sim.spawn(arrayWorkload(&client));
+  sim.run();
+  ASSERT_FALSE(h.failed());
+
+  ASSERT_TRUE(obs.opTypes().count("array.write"));
+  ASSERT_TRUE(obs.opTypes().count("array.read"));
+  const auto& wr = obs.opTypes().at("array.write");
+  EXPECT_EQ(wr.count, 1u);
+  EXPECT_EQ(wr.latency.count(), 1u);
+  EXPECT_GT(wr.latency.min(), 0u);
+  // The device leg must be part of the write's breakdown.
+  EXPECT_GT(wr.cat_ns[static_cast<int>(obs::Cat::kDevice)], 0u);
+
+  obs.exportMetrics();
+  std::ostringstream os;
+  obs.metrics().writeCsv(os);
+  EXPECT_NE(os.str().find("op.array.write.count"), std::string::npos);
+
+  // Breakdown table renders without tracing enabled.
+  std::ostringstream bd;
+  obs.writeBreakdown(bd);
+  EXPECT_NE(bd.str().find("array.write"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daosim

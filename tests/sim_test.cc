@@ -361,6 +361,31 @@ TEST(Welford, EmptyIsZero) {
   EXPECT_EQ(w.count(), 0u);
   EXPECT_DOUBLE_EQ(w.mean(), 0.0);
   EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max(), 0.0);
+}
+
+TEST(Welford, SingleSampleHasZeroSpread) {
+  Welford w;
+  w.add(42.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 42.0);
+  EXPECT_DOUBLE_EQ(w.max(), 42.0);
+}
+
+TEST(Welford, ConstantSeriesHasZeroVariance) {
+  Welford w;
+  for (int i = 0; i < 1000; ++i) w.add(3.25);
+  EXPECT_EQ(w.count(), 1000u);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.25);
+  // Welford's update must not accumulate rounding noise on a constant
+  // stream; the naive sum-of-squares formulation does.
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.min(), 3.25);
+  EXPECT_DOUBLE_EQ(w.max(), 3.25);
 }
 
 TEST(Mix64, HashCombineVariesWithOrder) {

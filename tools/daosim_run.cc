@@ -14,9 +14,11 @@
 //   daosim_run --system lustre --bench fdb --clients 32 --ppn 8 --stats
 //   daosim_run --system ceph --bench fdb --pgs 256
 //   daosim_run --system daos --bench ior --oclass EC_2P1GX --shared
+//   daosim_run --system daos --bench ior --trace=trace.json --metrics=m.csv
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
@@ -28,6 +30,7 @@
 #include "apps/stats_report.h"
 #include "apps/sweep.h"
 #include "apps/testbed.h"
+#include "obs/observer.h"
 
 namespace {
 
@@ -50,6 +53,8 @@ struct Options {
   bool shared = false;
   bool async_index = false;
   bool stats = false;
+  std::string trace_file;    // --trace / DAOSIM_TRACE
+  std::string metrics_file;  // --metrics / DAOSIM_METRICS
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -60,7 +65,12 @@ struct Options {
       "          [--servers N] [--clients N] [--ppn N] [--ops N]\n"
       "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
       "          [--reps N] [--seed N] [--pgs N] [--replicas N]\n"
-      "          [--shared] [--async-index] [--stats]\n",
+      "          [--shared] [--async-index] [--stats]\n"
+      "          [--trace FILE] [--metrics FILE]\n"
+      "Observability: --trace writes a Chrome-trace JSON (open in\n"
+      "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
+      "file ends in .json) of op latency histograms, both for the last\n"
+      "repetition. DAOSIM_TRACE / DAOSIM_METRICS env vars are fallbacks.\n",
       argv0);
   std::exit(2);
 }
@@ -68,8 +78,20 @@ struct Options {
 Options parse(int argc, char** argv) {
   Options o;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both `--opt value` and `--opt=value`.
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
     auto value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
@@ -105,6 +127,10 @@ Options parse(int argc, char** argv) {
       o.async_index = true;
     } else if (arg == "--stats") {
       o.stats = true;
+    } else if (arg == "--trace") {
+      o.trace_file = value();
+    } else if (arg == "--metrics") {
+      o.metrics_file = value();
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(argv[0]);
@@ -112,6 +138,12 @@ Options parse(int argc, char** argv) {
   }
   if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0) {
     usage(argv[0]);
+  }
+  if (o.trace_file.empty()) {
+    if (const char* v = std::getenv("DAOSIM_TRACE")) o.trace_file = v;
+  }
+  if (o.metrics_file.empty()) {
+    if (const char* v = std::getenv("DAOSIM_METRICS")) o.metrics_file = v;
   }
   return o;
 }
@@ -131,13 +163,15 @@ apps::IorDaos::Api parseApi(const std::string& api) {
   throw std::invalid_argument("unknown --api: " + api);
 }
 
-apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats) {
+apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
+                        obs::Observer* observer) {
   apps::DaosTestbed::Options opt;
   opt.server_nodes = o.servers;
   opt.client_nodes = o.clients;
   opt.seed = seed;
   apps::DaosTestbed tb(opt);
   const sim::Time t0 = tb.sim().now();
+  if (observer != nullptr) observer->attach(tb.sim());
   apps::RunResult r;
   if (o.bench == "ior") {
     apps::IorConfig cfg;
@@ -168,16 +202,22 @@ apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats) {
     throw std::invalid_argument("unknown --bench: " + o.bench);
   }
   if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  if (observer != nullptr) {
+    if (stats) observer->writeBreakdown(std::cout);
+    observer->detach();  // tb's simulation dies with this scope
+  }
   return r;
 }
 
-apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats) {
+apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats,
+                          obs::Observer* observer) {
   apps::LustreTestbed::Options opt;
   opt.oss_nodes = o.servers;
   opt.client_nodes = o.clients;
   opt.seed = seed;
   apps::LustreTestbed tb(opt);
   const sim::Time t0 = tb.sim().now();
+  if (observer != nullptr) observer->attach(tb.sim());
   apps::RunResult r;
   if (o.bench == "ior") {
     apps::IorConfig cfg;
@@ -195,10 +235,15 @@ apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats) {
     throw std::invalid_argument("--system lustre supports ior|fdb");
   }
   if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  if (observer != nullptr) {
+    if (stats) observer->writeBreakdown(std::cout);
+    observer->detach();  // tb's simulation dies with this scope
+  }
   return r;
 }
 
-apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats) {
+apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
+                        obs::Observer* observer) {
   apps::CephTestbed::Options opt;
   opt.osd_nodes = o.servers;
   opt.client_nodes = o.clients;
@@ -207,6 +252,7 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats) {
   opt.ceph.replica_count = o.replicas;
   apps::CephTestbed tb(opt);
   const sim::Time t0 = tb.sim().now();
+  if (observer != nullptr) observer->attach(tb.sim());
   apps::RunResult r;
   if (o.bench == "ior") {
     apps::IorConfig cfg;
@@ -224,6 +270,10 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats) {
     throw std::invalid_argument("--system ceph supports ior|fdb");
   }
   if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
+  if (observer != nullptr) {
+    if (stats) observer->writeBreakdown(std::cout);
+    observer->detach();  // tb's simulation dies with this scope
+  }
   return r;
 }
 
@@ -232,29 +282,57 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats) {
 int main(int argc, char** argv) {
   try {
     const Options o = parse(argc, argv);
+    // Observe the last repetition only (mirrors --stats), so traces and
+    // metrics describe one run rather than a mix of seeds.
+    obs::Observer observer;
+    const bool want_obs =
+        o.stats || !o.trace_file.empty() || !o.metrics_file.empty();
+    if (!o.trace_file.empty()) observer.enableTracing();
     apps::Measurement m;
     m.point = apps::SweepPoint{o.clients, o.ppn};
     for (int rep = 0; rep < o.reps; ++rep) {
       const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
-      const bool stats = o.stats && rep == o.reps - 1;
+      const bool last = rep == o.reps - 1;
+      const bool stats = o.stats && last;
+      obs::Observer* obsp = want_obs && last ? &observer : nullptr;
       if (o.system == "daos") {
-        m.add(runDaos(o, seed, stats));
+        m.add(runDaos(o, seed, stats, obsp));
       } else if (o.system == "lustre") {
-        m.add(runLustre(o, seed, stats));
+        m.add(runLustre(o, seed, stats, obsp));
       } else if (o.system == "ceph") {
-        m.add(runCeph(o, seed, stats));
+        m.add(runCeph(o, seed, stats, obsp));
       } else {
         throw std::invalid_argument("unknown --system: " + o.system);
       }
     }
+    if (!o.trace_file.empty()) {
+      std::ofstream f(o.trace_file);
+      observer.writeChromeTrace(f);
+    }
+    if (!o.metrics_file.empty()) {
+      observer.exportMetrics();
+      std::ofstream f(o.metrics_file);
+      const std::string& mf = o.metrics_file;
+      if (mf.size() >= 5 && mf.compare(mf.size() - 5, 5, ".json") == 0) {
+        observer.metrics().writeJson(f);
+      } else {
+        observer.metrics().writeCsv(f);
+      }
+    }
     std::printf(
         "%s/%s servers=%d clients=%d ppn=%d procs=%d reps=%d\n"
-        "  write %.2f +/- %.2f GiB/s (%.1f kIOPS)\n"
-        "  read  %.2f +/- %.2f GiB/s (%.1f kIOPS)\n",
+        "  write %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n"
+        "  read  %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n",
         o.system.c_str(), o.bench.c_str(), o.servers, o.clients, o.ppn,
         o.clients * o.ppn, o.reps, m.write_gibps.mean(),
-        m.write_gibps.stddev(), m.write_kiops.mean(), m.read_gibps.mean(),
-        m.read_gibps.stddev(), m.read_kiops.mean());
+        m.write_gibps.stddev(), m.write_kiops.mean(),
+        static_cast<double>(m.write_lat.percentile(50)) / 1e3,
+        static_cast<double>(m.write_lat.percentile(95)) / 1e3,
+        static_cast<double>(m.write_lat.percentile(99)) / 1e3,
+        m.read_gibps.mean(), m.read_gibps.stddev(), m.read_kiops.mean(),
+        static_cast<double>(m.read_lat.percentile(50)) / 1e3,
+        static_cast<double>(m.read_lat.percentile(95)) / 1e3,
+        static_cast<double>(m.read_lat.percentile(99)) / 1e3);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "daosim_run: %s\n", e.what());
