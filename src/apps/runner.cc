@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <mutex>
 #include <string>
 
 #include "obs/observer.h"
@@ -32,7 +33,10 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
   // DAOSIM_TRACE / DAOSIM_METRICS: attach an observer for this run if the
   // caller has not installed one, and export when the run completes. Each
   // runSpmd call overwrites the files, so a sweep leaves the last run's
-  // trace — attach an observer around the point of interest for more.
+  // trace — attach an observer around the point of interest for more. The
+  // observer itself is local to this run (no state shared across runs);
+  // under a parallel sweep (DAOSIM_JOBS > 1) file writes are serialized
+  // below and "last" means last to complete, which is scheduling-dependent.
   const std::string trace_file = envFile("DAOSIM_TRACE");
   const std::string metrics_file = envFile("DAOSIM_METRICS");
   obs::Observer local;
@@ -63,6 +67,8 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
   sim.run();
 
   if (attach) {
+    static std::mutex export_mu;  // concurrent runs share the export files
+    std::lock_guard<std::mutex> lock(export_mu);
     if (!trace_file.empty()) {
       std::ofstream f(trace_file);
       local.writeChromeTrace(f);

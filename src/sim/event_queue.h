@@ -1,0 +1,210 @@
+// Two-level event queue for the discrete-event kernel.
+//
+// The kernel's ordering contract is exact: events pop in (time, seq) order,
+// seq being the global push counter, so FIFO-within-timestamp determinism is
+// preserved bit for bit. The old implementation was a single binary heap;
+// this one splits events by temporal distance so the common cases are O(1):
+//
+//   * now-FIFO   — events scheduled at exactly the current time (semaphore
+//                  hand-offs, barrier releases, join wake-ups, yields). Seq
+//                  order equals insertion order, so a flat FIFO suffices.
+//   * current window heap — events inside the bucket window that contains
+//                  the present; a small binary heap over (time, seq).
+//   * near ring  — kBuckets FIFO buckets of kWidth ns each covering the near
+//                  future; push is an unordered O(1) append, and a bucket is
+//                  heapified only when the kernel reaches its window.
+//   * far heap   — everything beyond the ring horizon. Sparse or very long
+//                  timers fall back here, giving graceful priority-queue
+//                  behavior when timestamps are too spread for the ring.
+//
+// Ordering proof sketch: all stored events satisfy t >= now (the kernel
+// never schedules into the past). Events with t == now live either in the
+// now-FIFO or — when they were pushed before time advanced to t — in the
+// current window heap; pop takes the (t, seq) minimum of those two fronts.
+// Ring buckets cover windows strictly after the current one and the far heap
+// holds only times at or beyond the ring horizon (advance() re-distributes
+// far events whenever the horizon moves), so inter-level order is total.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace daosim::sim {
+
+class EventQueue {
+ public:
+  /// A scheduled coroutine resumption.
+  struct Item {
+    Time t = 0;
+    std::uint64_t seq = 0;
+    std::coroutine_handle<> h;
+  };
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+
+  /// Pushes an event; `now` is the kernel's current time and `t >= now`,
+  /// `seq` strictly increasing across pushes.
+  void push(Time now, Time t, std::uint64_t seq, std::coroutine_handle<> h) {
+    assert(t >= now);
+    ++size_;
+    if (t == now) {
+      assert(fifoEmpty() || fifo_time_ == now);
+      if (fifoEmpty()) {
+        now_fifo_.clear();
+        fifo_head_ = 0;
+      }
+      fifo_time_ = now;
+      now_fifo_.push_back(Item{t, seq, h});
+      return;
+    }
+    place(Item{t, seq, h});
+  }
+
+  /// Pops the (time, seq)-minimum event. Queue must be non-empty.
+  Item pop() {
+    assert(size_ > 0);
+    if (fifoEmpty() && cur_.empty()) advance();
+    Item e;
+    const bool take_fifo =
+        !fifoEmpty() &&
+        (cur_.empty() || After{}(cur_.front(), now_fifo_[fifo_head_]));
+    if (take_fifo) {
+      e = now_fifo_[fifo_head_];
+      ++fifo_head_;
+    } else {
+      std::pop_heap(cur_.begin(), cur_.end(), After{});
+      e = cur_.back();
+      cur_.pop_back();
+    }
+    --size_;
+    return e;
+  }
+
+  /// Timestamp of the next event to pop. Queue must be non-empty.
+  Time nextTime() const {
+    assert(size_ > 0);
+    if (!fifoEmpty()) return fifo_time_;  // minimal: all others >= now
+    if (!cur_.empty()) return cur_.front().t;
+    if (ring_count_ > 0) {
+      const auto& b = ring_[nextSlot(slotOf(win_lo_))];
+      Time t = b.front().t;
+      for (const Item& e : b) {
+        if (e.t < t) t = e.t;
+      }
+      return t;
+    }
+    return far_.top().t;
+  }
+
+ private:
+  // 64 Ki-ns buckets, 512 of them: sub-microsecond timers (semaphore waits,
+  // NIC transfers) almost never cross a window edge, and the ring still
+  // covers ~33 ms of future — device service times and think times included.
+  // Coarser timers overflow to the far heap.
+  static constexpr Time kWidth = 65536;
+  static constexpr std::size_t kBuckets = 512;
+  static constexpr Time kHorizon = kWidth * static_cast<Time>(kBuckets);
+  static constexpr std::size_t kWords = kBuckets / 64;
+
+  /// "a comes after b": heap comparator yielding a (time, seq) min-front.
+  struct After {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  static std::size_t slotOf(Time t) noexcept {
+    return static_cast<std::size_t>(t / kWidth) % kBuckets;
+  }
+
+  /// Next populated ring slot strictly after `s0`, circularly. Requires
+  /// ring_count_ > 0; a couple of word scans thanks to the occupancy bitmap.
+  std::size_t nextSlot(std::size_t s0) const noexcept {
+    std::size_t s = (s0 + 1) % kBuckets;
+    const std::size_t w0 = s >> 6;
+    if (const std::uint64_t word = bits_[w0] >> (s & 63); word != 0) {
+      return s + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    for (std::size_t k = 1; k <= kWords; ++k) {
+      const std::size_t w = (w0 + k) % kWords;
+      if (bits_[w] != 0) {
+        return (w << 6) + static_cast<std::size_t>(std::countr_zero(bits_[w]));
+      }
+    }
+    assert(false && "ring_count_ > 0 but occupancy bitmap empty");
+    return s0;
+  }
+
+  /// Files a future (t > now) event into window heap, ring, or far heap.
+  void place(Item e) {
+    assert(e.t >= win_lo_);
+    if (e.t < win_lo_ + kWidth) {
+      cur_.push_back(e);
+      std::push_heap(cur_.begin(), cur_.end(), After{});
+    } else if (e.t - win_lo_ < kHorizon) {
+      const std::size_t s = slotOf(e.t);
+      ring_[s].push_back(e);
+      bits_[s >> 6] |= 1ULL << (s & 63);
+      ++ring_count_;
+    } else {
+      far_.push(e);
+    }
+  }
+
+  /// Moves the current window forward to the next populated bucket (or to
+  /// the far heap's front when the ring is empty), then pulls far events
+  /// that the new horizon now covers back into the ring.
+  void advance() {
+    if (ring_count_ > 0) {
+      const std::size_t s0 = slotOf(win_lo_);
+      const std::size_t s = nextSlot(s0);
+      const std::size_t d = (s + kBuckets - s0) % kBuckets;
+      assert(d > 0);
+      win_lo_ += static_cast<Time>(d) * kWidth;
+      auto& b = ring_[s];
+      assert(!b.empty());
+      cur_.swap(b);
+      bits_[s >> 6] &= ~(1ULL << (s & 63));
+      ring_count_ -= cur_.size();
+      std::make_heap(cur_.begin(), cur_.end(), After{});
+      drainFar();
+      return;
+    }
+    assert(!far_.empty());
+    win_lo_ = (far_.top().t / kWidth) * kWidth;
+    drainFar();  // guaranteed to move far_.top() into the window heap
+  }
+
+  void drainFar() {
+    while (!far_.empty() && far_.top().t - win_lo_ < kHorizon) {
+      place(far_.top());
+      far_.pop();
+    }
+  }
+
+  bool fifoEmpty() const noexcept { return fifo_head_ == now_fifo_.size(); }
+
+  // Events at exactly the current time: a vector drained via a head index
+  // (cheaper empty-check than a deque, and the storage is reused once
+  // drained since the FIFO refills from index zero).
+  std::vector<Item> now_fifo_;
+  std::size_t fifo_head_ = 0;
+  Time fifo_time_ = 0;
+  std::vector<Item> cur_;  // (time, seq) min-heap over [win_lo_, win_lo_+W)
+  Time win_lo_ = 0;
+  std::vector<Item> ring_[kBuckets];
+  std::uint64_t bits_[kWords] = {};  // per-slot non-empty occupancy bitmap
+  std::size_t ring_count_ = 0;
+  std::priority_queue<Item, std::vector<Item>, After> far_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace daosim::sim

@@ -1,0 +1,83 @@
+// ParallelRunner: executes independent simulations across a worker pool.
+//
+// A sim::Simulation is strictly single-threaded, but a sweep is many
+// simulations — one per (sweep point × repetition), each self-contained and
+// seed-deterministic. ParallelRunner runs such jobs across std::thread
+// workers. Determinism contract: a job's result depends only on its inputs
+// (testbed options + seed), never on scheduling, so serial (jobs == 1) and
+// parallel executions produce bitwise-identical results as long as callers
+// aggregate in submission order — which submit()/map() make natural.
+//
+// DAOSIM_JOBS selects the worker count (default: hardware concurrency;
+// 1 restores fully serial, inline execution with no threads at all).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace daosim::sim {
+
+/// DAOSIM_JOBS, clamped to >= 1; unset or 0 means hardware concurrency.
+int envJobs();
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(int jobs = envJobs());
+
+  /// Drains the queue and joins the workers.
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int jobs() const noexcept { return jobs_; }
+
+  /// Enqueues `fn` and returns its future. With jobs() == 1 the job runs
+  /// inline before returning (exactly the serial behavior, no threads).
+  template <typename Fn>
+  auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
+    using R = std::invoke_result_t<Fn&>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and returns the results in index
+  /// order (so aggregation order never depends on completion order).
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    std::vector<std::future<R>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futures.push_back(submit([&fn, i] { return fn(i); }));
+    }
+    std::vector<R> out;
+    out.reserve(n);
+    for (auto& f : futures) out.push_back(f.get());
+    return out;
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  void workerLoop();
+
+  int jobs_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace daosim::sim

@@ -17,8 +17,7 @@ void JoinState::complete(std::exception_ptr e) {
 
 }  // namespace detail
 
-detail::Root Simulation::runRoot(std::shared_ptr<detail::JoinState> state,
-                                 Task<void> task) {
+detail::Root Simulation::runRoot(detail::JoinRef state, Task<void> task) {
   std::exception_ptr error;
   try {
     co_await std::move(task);
@@ -29,9 +28,9 @@ detail::Root Simulation::runRoot(std::shared_ptr<detail::JoinState> state,
 }
 
 ProcHandle Simulation::spawn(Task<void> task) {
-  auto state = std::make_shared<detail::JoinState>(*this);
-  runRoot(state, std::move(task));
-  return ProcHandle(state);
+  detail::JoinRef state(new detail::JoinState(*this));
+  runRoot(state, std::move(task));  // the root frame holds its own reference
+  return ProcHandle(std::move(state));
 }
 
 std::size_t Simulation::run(std::size_t max_events) {
@@ -41,26 +40,24 @@ std::size_t Simulation::run(std::size_t max_events) {
       throw std::runtime_error(
           "Simulation::run: event budget exhausted (possible livelock)");
     }
-    Item item = queue_.top();
-    queue_.pop();
-    assert(item.t >= now_);
-    now_ = item.t;
+    const EventQueue::Item e = queue_.pop();
+    assert(e.t >= now_);
+    now_ = e.t;
     ++n;
     ++processed_;
-    item.h.resume();
+    e.h.resume();
   }
   return n;
 }
 
 std::size_t Simulation::runUntil(Time t) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.top().t <= t) {
-    Item item = queue_.top();
-    queue_.pop();
-    now_ = item.t;
+  while (!queue_.empty() && queue_.nextTime() <= t) {
+    const EventQueue::Item e = queue_.pop();
+    now_ = e.t;
     ++n;
     ++processed_;
-    item.h.resume();
+    e.h.resume();
   }
   if (now_ < t) now_ = t;
   return n;

@@ -5,15 +5,23 @@
 // (delay, synchronization primitives, queueing stations) and are resumed by
 // the kernel at the appropriate simulated instant. Events at equal times are
 // processed in FIFO scheduling order, which makes runs fully deterministic.
+//
+// Hot-path notes: coroutine frames and spawn join-states come from the
+// per-thread FramePool (sim/pool.h), the event queue is the two-level
+// structure in sim/event_queue.h, and independent simulations (sweep points,
+// repetitions) can execute concurrently via sim::ParallelRunner — a
+// Simulation itself is strictly single-threaded.
 #pragma once
 
 #include <cassert>
 #include <coroutine>
 #include <cstdint>
-#include <memory>
-#include <queue>
+#include <exception>
+#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
+#include "sim/pool.h"
 #include "sim/rng.h"
 #include "sim/task.h"
 #include "sim/time.h"
@@ -28,11 +36,17 @@ class Simulation;
 
 namespace detail {
 
-/// Shared completion state of a spawned process.
+/// Shared completion state of a spawned process. Intrusively refcounted and
+/// pool-allocated so spawning is allocation-free in steady state; a
+/// Simulation and all its handles live on one thread, so the count is plain.
 struct JoinState {
   explicit JoinState(Simulation& s) : sim(&s) {}
 
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+
   Simulation* sim;
+  std::uint32_t refs = 1;  // the creating JoinRef adopts this count
   bool done = false;
   std::exception_ptr error;
   std::vector<std::coroutine_handle<>> waiters;
@@ -40,9 +54,43 @@ struct JoinState {
   void complete(std::exception_ptr e);
 };
 
+/// Intrusive reference to a JoinState.
+class JoinRef {
+ public:
+  JoinRef() noexcept = default;
+  /// Adopts `s` (which must carry one reference for this JoinRef).
+  explicit JoinRef(JoinState* s) noexcept : s_(s) {}
+  JoinRef(const JoinRef& o) noexcept : s_(o.s_) {
+    if (s_ != nullptr) ++s_->refs;
+  }
+  JoinRef(JoinRef&& o) noexcept : s_(std::exchange(o.s_, nullptr)) {}
+  JoinRef& operator=(JoinRef o) noexcept {
+    std::swap(s_, o.s_);
+    return *this;
+  }
+  ~JoinRef() { reset(); }
+
+  void reset() noexcept {
+    if (s_ != nullptr && --s_->refs == 0) delete s_;
+    s_ = nullptr;
+  }
+
+  JoinState* get() const noexcept { return s_; }
+  JoinState* operator->() const noexcept { return s_; }
+  explicit operator bool() const noexcept { return s_ != nullptr; }
+
+ private:
+  JoinState* s_ = nullptr;
+};
+
 /// Self-starting, self-destroying root coroutine wrapping a spawned task.
 struct Root {
   struct promise_type {
+    static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    static void operator delete(void* p) noexcept {
+      FramePool::deallocate(p);
+    }
+
     Root get_return_object() noexcept { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }
@@ -58,8 +106,7 @@ struct Root {
 class ProcHandle {
  public:
   ProcHandle() = default;
-  explicit ProcHandle(std::shared_ptr<detail::JoinState> s)
-      : state_(std::move(s)) {}
+  explicit ProcHandle(detail::JoinRef s) : state_(std::move(s)) {}
 
   bool valid() const noexcept { return static_cast<bool>(state_); }
   bool done() const noexcept { return state_ && state_->done; }
@@ -89,7 +136,7 @@ class ProcHandle {
   }
 
  private:
-  std::shared_ptr<detail::JoinState> state_;
+  detail::JoinRef state_;
 };
 
 class Simulation {
@@ -106,15 +153,26 @@ class Simulation {
   Time now() const noexcept { return now_; }
   Rng& rng() noexcept { return rng_; }
 
-  /// Schedules `h` to resume at absolute simulated time `t` (>= now).
+  /// Schedules `h` to resume at absolute simulated time `t` (>= now). A
+  /// past `t` is a bug in the caller; rather than silently corrupting the
+  /// timeline in release builds (the assert is compiled out) it is clamped
+  /// to now and counted — see pastScheduleClamps().
   void scheduleAt(Time t, std::coroutine_handle<> h) {
-    assert(t >= now_);
-    queue_.push(Item{t, seq_++, h});
+    assert(t >= now_ && "scheduleAt into the past");
+    if (t < now_) {
+      t = now_;
+      ++past_clamps_;
+    }
+    queue_.push(now_, t, seq_++, h);
   }
 
   void scheduleAfter(Time d, std::coroutine_handle<> h) {
     scheduleAt(now_ + d, h);
   }
+
+  /// Number of scheduleAt calls that targeted the past and were clamped to
+  /// the current time (always 0 in a correct model).
+  std::uint64_t pastScheduleClamps() const noexcept { return past_clamps_; }
 
   /// Awaitable suspending the current coroutine for `d` simulated time.
   auto delay(Time d) noexcept {
@@ -155,24 +213,13 @@ class Simulation {
   void setObserver(obs::Observer* o) noexcept { observer_ = o; }
 
  private:
-  struct Item {
-    Time t;
-    std::uint64_t seq;
-    std::coroutine_handle<> h;
-  };
-  struct Later {
-    bool operator()(const Item& a, const Item& b) const noexcept {
-      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
-    }
-  };
+  static detail::Root runRoot(detail::JoinRef state, Task<void> task);
 
-  static detail::Root runRoot(std::shared_ptr<detail::JoinState> state,
-                              Task<void> task);
-
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  EventQueue queue_;
   Time now_ = 0;
   std::uint64_t seq_ = 0;
   std::size_t processed_ = 0;
+  std::uint64_t past_clamps_ = 0;
   Rng rng_;
   obs::Observer* observer_ = nullptr;
 };

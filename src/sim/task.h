@@ -17,6 +17,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sim/pool.h"
+
 namespace daosim::sim {
 
 template <typename T>
@@ -26,6 +28,11 @@ namespace detail {
 
 class TaskPromiseBase {
  public:
+  // Coroutine frames are allocated through the per-thread FramePool, so a
+  // task creation in steady state touches no global allocator.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+
   struct FinalAwaiter {
     bool await_ready() const noexcept { return false; }
 

@@ -31,6 +31,7 @@
 #include "apps/sweep.h"
 #include "apps/testbed.h"
 #include "obs/observer.h"
+#include "sim/parallel.h"
 
 namespace {
 
@@ -47,6 +48,7 @@ struct Options {
   std::uint64_t ops = 0;  // 0 = auto-scale
   std::uint64_t transfer = 1 << 20;
   int reps = 3;
+  int jobs = 0;  // 0 = DAOSIM_JOBS / hardware concurrency
   std::uint64_t seed = 1;
   int pgs = 1024;
   int replicas = 1;
@@ -64,9 +66,12 @@ struct Options {
       "          [--api libdaos|dfs|dfuse|dfuse+il|hdf5-dfuse|hdf5-daos]\n"
       "          [--servers N] [--clients N] [--ppn N] [--ops N]\n"
       "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
-      "          [--reps N] [--seed N] [--pgs N] [--replicas N]\n"
+      "          [--reps N] [--jobs N] [--seed N] [--pgs N] [--replicas N]\n"
       "          [--shared] [--async-index] [--stats]\n"
       "          [--trace FILE] [--metrics FILE]\n"
+      "Parallelism: --jobs (or DAOSIM_JOBS) runs repetitions concurrently\n"
+      "on a worker pool; results are identical to --jobs 1 for a fixed\n"
+      "--seed because every repetition is a self-contained simulation.\n"
       "Observability: --trace writes a Chrome-trace JSON (open in\n"
       "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
       "file ends in .json) of op latency histograms, both for the last\n"
@@ -115,6 +120,8 @@ Options parse(int argc, char** argv) {
       o.transfer = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--reps") {
       o.reps = std::atoi(value());
+    } else if (arg == "--jobs") {
+      o.jobs = std::atoi(value());
     } else if (arg == "--seed") {
       o.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--pgs") {
@@ -290,21 +297,23 @@ int main(int argc, char** argv) {
     if (!o.trace_file.empty()) observer.enableTracing();
     apps::Measurement m;
     m.point = apps::SweepPoint{o.clients, o.ppn};
-    for (int rep = 0; rep < o.reps; ++rep) {
-      const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
-      const bool last = rep == o.reps - 1;
-      const bool stats = o.stats && last;
-      obs::Observer* obsp = want_obs && last ? &observer : nullptr;
-      if (o.system == "daos") {
-        m.add(runDaos(o, seed, stats, obsp));
-      } else if (o.system == "lustre") {
-        m.add(runLustre(o, seed, stats, obsp));
-      } else if (o.system == "ceph") {
-        m.add(runCeph(o, seed, stats, obsp));
-      } else {
-        throw std::invalid_argument("unknown --system: " + o.system);
-      }
-    }
+    // Repetitions are independent simulations; run them across a worker
+    // pool (--jobs / DAOSIM_JOBS). Aggregation stays in rep order, so the
+    // printed numbers are identical to a serial run for a fixed --seed.
+    sim::ParallelRunner pool(o.jobs > 0 ? o.jobs : sim::envJobs());
+    auto results = pool.map(
+        static_cast<std::size_t>(o.reps),
+        [&](std::size_t rep) -> apps::RunResult {
+          const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
+          const bool last = rep == static_cast<std::size_t>(o.reps) - 1;
+          const bool stats = o.stats && last;
+          obs::Observer* obsp = want_obs && last ? &observer : nullptr;
+          if (o.system == "daos") return runDaos(o, seed, stats, obsp);
+          if (o.system == "lustre") return runLustre(o, seed, stats, obsp);
+          if (o.system == "ceph") return runCeph(o, seed, stats, obsp);
+          throw std::invalid_argument("unknown --system: " + o.system);
+        });
+    for (const auto& r : results) m.add(r);
     if (!o.trace_file.empty()) {
       std::ofstream f(o.trace_file);
       observer.writeChromeTrace(f);
