@@ -6,6 +6,7 @@
 // system with S1 / S2 / S4 / S8 / SX arrays, plus a single-shared-file run
 // (where sharding width matters most: one object carries all processes).
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -28,7 +29,7 @@ apps::RunResult runPoint(ObjClass oclass, bool shared, SweepPoint pt,
   cfg.oclass = oclass;
   cfg.shared_file = shared;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 40000);
-  apps::IorDaos bench(tb, apps::IorDaos::Api::kDaosArray, cfg);
+  apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }

@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -17,13 +18,13 @@ using namespace daosim;
 using apps::DaosTestbed;
 using apps::SweepPoint;
 
-apps::RunResult runPoint(apps::IorDaos::Api api, std::uint64_t transfer,
+apps::RunResult runPoint(std::string api, std::uint64_t transfer,
                          SweepPoint pt, std::uint64_t seed) {
   DaosTestbed::Options opt;
   opt.server_nodes = 16;
   opt.client_nodes = pt.client_nodes;
   opt.seed = seed;
-  opt.with_dfuse = api != apps::IorDaos::Api::kDaosArray;
+  opt.with_dfuse = api != "daos-array";
   DaosTestbed tb(opt);
 
   apps::IorConfig cfg;
@@ -33,7 +34,7 @@ apps::RunResult runPoint(apps::IorDaos::Api api, std::uint64_t transfer,
   const std::uint64_t total_ops = std::clamp<std::uint64_t>(
       (40ULL << 30) / transfer, 20000, 400000);
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(4000), total_ops);
-  apps::IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -47,15 +48,13 @@ int main(int argc, char** argv) {
   for (std::uint64_t kib : {4ULL, 64ULL, 256ULL, 1024ULL, 4096ULL}) {
     const SweepPoint pt{kClients, kPpn};
     const std::string suffix = std::to_string(kib) + "KiB";
-    bench::registerSweep("ior-libdaos-" + suffix, {pt},
+    bench::registerSweep("ior-daos-array-" + suffix, {pt},
                          [kib](SweepPoint p, std::uint64_t seed) {
-                           return runPoint(apps::IorDaos::Api::kDaosArray,
-                                           kib << 10, p, seed);
+                           return runPoint("daos-array", kib << 10, p, seed);
                          });
     bench::registerSweep("ior-dfuse-" + suffix, {pt},
                          [kib](SweepPoint p, std::uint64_t seed) {
-                           return runPoint(apps::IorDaos::Api::kDfuse,
-                                           kib << 10, p, seed);
+                           return runPoint("dfuse", kib << 10, p, seed);
                          });
   }
   return bench::benchMain(argc, argv,

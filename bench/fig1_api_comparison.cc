@@ -6,6 +6,7 @@
 // at saturation (ideals 61.76 and 100); libdaos is ahead at low process
 // counts; 16 client nodes suffice.
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -13,21 +14,20 @@ namespace {
 using namespace daosim;
 using apps::DaosTestbed;
 using apps::IorConfig;
-using apps::IorDaos;
 using apps::SweepPoint;
 
-apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
+apps::RunResult runPoint(std::string api, SweepPoint pt,
                          std::uint64_t seed) {
   DaosTestbed::Options opt;
   opt.server_nodes = 16;
   opt.client_nodes = pt.client_nodes;
   opt.seed = seed;
-  opt.with_dfuse = api != IorDaos::Api::kDaosArray;
+  opt.with_dfuse = api != "daos-array";
   DaosTestbed tb(opt);
 
   IorConfig cfg;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000));
-  IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -40,15 +40,11 @@ int main(int argc, char** argv) {
           ? apps::crossGrid({1, 2, 4, 8, 16}, {1, 2, 4, 8, 16, 32})
           : apps::crossGrid({1, 4, 16}, {1, 4, 16, 32});
 
-  const std::pair<const char*, IorDaos::Api> apis[] = {
-      {"ior-libdaos", IorDaos::Api::kDaosArray},
-      {"ior-libdfs", IorDaos::Api::kDfs},
-      {"ior-dfuse", IorDaos::Api::kDfuse},
-      {"ior-dfuse+il", IorDaos::Api::kDfuseIl},
-  };
-  for (const auto& [name, api] : apis) {
-    bench::registerSweep(name, grid,
-                         [api = api](SweepPoint pt, std::uint64_t seed) {
+  // One sweep series per io::Backend registry name.
+  for (const char* api : {"daos-array", "dfs", "dfuse", "dfuse-il"}) {
+    bench::registerSweep(std::string("ior-") + api, grid,
+                         [api = std::string(api)](SweepPoint pt,
+                                                  std::uint64_t seed) {
                            return runPoint(api, pt, seed);
                          });
   }

@@ -5,6 +5,7 @@
 // noticeable" at this I/O size — DFUSE pays two kernel crossings and a FUSE
 // thread per op; the IL forwards read/write straight to libdfs.
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -12,10 +13,9 @@ namespace {
 using namespace daosim;
 using apps::DaosTestbed;
 using apps::IorConfig;
-using apps::IorDaos;
 using apps::SweepPoint;
 
-apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
+apps::RunResult runPoint(std::string api, SweepPoint pt,
                          std::uint64_t seed) {
   DaosTestbed::Options opt;
   opt.server_nodes = 16;
@@ -27,7 +27,7 @@ apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
   cfg.transfer = 1024;  // 1 KiB
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(4000),
                             /*total_target=*/400000);
-  IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -41,13 +41,13 @@ int main(int argc, char** argv) {
   bench::registerSweep(
       "ior-dfuse-1KiB", grid,
       [](SweepPoint pt, std::uint64_t seed) {
-        return runPoint(IorDaos::Api::kDfuse, pt, seed);
+        return runPoint("dfuse", pt, seed);
       },
       /*show_iops=*/true);
   bench::registerSweep(
-      "ior-dfuse+il-1KiB", grid,
+      "ior-dfuse-il-1KiB", grid,
       [](SweepPoint pt, std::uint64_t seed) {
-        return runPoint(IorDaos::Api::kDfuseIl, pt, seed);
+        return runPoint("dfuse-il", pt, seed);
       },
       /*show_iops=*/true);
   return bench::benchMain(argc, argv,

@@ -11,6 +11,7 @@
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -29,13 +30,13 @@ DaosTestbed::Options options16(SweepPoint pt, std::uint64_t seed,
   return opt;
 }
 
-apps::RunResult runHdf5(apps::IorDaos::Api api, SweepPoint pt,
+apps::RunResult runHdf5(std::string api, SweepPoint pt,
                         std::uint64_t seed) {
-  DaosTestbed tb(options16(pt, seed, api == apps::IorDaos::Api::kHdf5DfuseIl));
+  DaosTestbed tb(options16(pt, seed, api == "hdf5"));
   apps::IorConfig cfg;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
                             /*total_target=*/20000);
-  apps::IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -45,7 +46,7 @@ apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
   apps::FieldIoConfig cfg;
   cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
                                /*total_target=*/20000);
-  apps::FieldIo bench(tb, cfg);
+  apps::FieldIo bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -55,7 +56,7 @@ apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
   apps::FdbConfig cfg;
   cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
                                /*total_target=*/20000);
-  apps::FdbDaos bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -70,15 +71,13 @@ int main(int argc, char** argv) {
                             ? apps::crossGrid({1, 4, 16, 32}, {1, 4, 16, 32})
                             : apps::crossGrid({1, 4, 16, 32}, {4, 16});
 
-  bench::registerSweep("ior-hdf5-dfuse+il", ior_grid,
+  bench::registerSweep("ior-hdf5", ior_grid,
                        [](SweepPoint pt, std::uint64_t seed) {
-                         return runHdf5(apps::IorDaos::Api::kHdf5DfuseIl, pt,
-                                        seed);
+                         return runHdf5("hdf5", pt, seed);
                        });
-  bench::registerSweep("ior-hdf5-libdaos", ior_grid,
+  bench::registerSweep("ior-hdf5-daos", ior_grid,
                        [](SweepPoint pt, std::uint64_t seed) {
-                         return runHdf5(apps::IorDaos::Api::kHdf5Daos, pt,
-                                        seed);
+                         return runHdf5("hdf5-daos", pt, seed);
                        });
   bench::registerSweep("fieldio", app_grid, runFieldIo);
   bench::registerSweep("fdb-hammer-daos", app_grid, runFdb);

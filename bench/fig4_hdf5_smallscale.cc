@@ -6,6 +6,7 @@
 // pool-leader metadata path only becomes the bottleneck beyond ~4 servers
 // (compare fig3/fig5).
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -13,10 +14,9 @@ namespace {
 using namespace daosim;
 using apps::DaosTestbed;
 using apps::IorConfig;
-using apps::IorDaos;
 using apps::SweepPoint;
 
-apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
+apps::RunResult runPoint(std::string api, SweepPoint pt,
                          std::uint64_t seed) {
   DaosTestbed::Options opt;
   opt.server_nodes = 4;
@@ -28,7 +28,7 @@ apps::RunResult runPoint(IorDaos::Api api, SweepPoint pt,
   IorConfig cfg;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000),
                             /*total_target=*/20000);
-  IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -39,13 +39,13 @@ int main(int argc, char** argv) {
   const auto grid = apps::envFullGrid()
                         ? apps::crossGrid({1, 2, 4, 8, 16}, {1, 4, 16, 32})
                         : apps::crossGrid({1, 4, 16}, {4, 16, 32});
-  bench::registerSweep("ior-libdaos-4srv", grid,
+  bench::registerSweep("ior-daos-array-4srv", grid,
                        [](SweepPoint pt, std::uint64_t seed) {
-                         return runPoint(IorDaos::Api::kDaosArray, pt, seed);
+                         return runPoint("daos-array", pt, seed);
                        });
-  bench::registerSweep("ior-hdf5-libdaos-4srv", grid,
+  bench::registerSweep("ior-hdf5-daos-4srv", grid,
                        [](SweepPoint pt, std::uint64_t seed) {
-                         return runPoint(IorDaos::Api::kHdf5Daos, pt, seed);
+                         return runPoint("hdf5-daos", pt, seed);
                        });
   return bench::benchMain(
       argc, argv,

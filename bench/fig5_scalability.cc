@@ -9,6 +9,7 @@
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -30,16 +31,14 @@ DaosTestbed makeTestbed(int servers, std::uint64_t seed, bool with_dfuse) {
 }
 
 // The sweep "client_nodes" column carries the *server* count here.
-apps::RunResult runIor(apps::IorDaos::Api api, SweepPoint pt,
+apps::RunResult runIor(std::string api, SweepPoint pt,
                        std::uint64_t seed) {
-  DaosTestbed tb = makeTestbed(pt.client_nodes, seed,
-                               api != apps::IorDaos::Api::kDaosArray);
+  DaosTestbed tb = makeTestbed(pt.client_nodes, seed, api != "daos-array");
   apps::IorConfig cfg;
-  const bool hdf5 = api == apps::IorDaos::Api::kHdf5Daos ||
-                    api == apps::IorDaos::Api::kHdf5DfuseIl;
+  const bool hdf5 = api == "hdf5" || api == "hdf5-daos";
   cfg.ops = apps::scaledOps(kClients * kPpn, apps::envOps(1000),
                             hdf5 ? 20000 : 40000);
-  apps::IorDaos bench(tb, api, cfg);
+  apps::Ior bench(tb.ioEnv(), api, cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 
@@ -47,7 +46,7 @@ apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
   DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
   apps::FieldIoConfig cfg;
   cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
-  apps::FieldIo bench(tb, cfg);
+  apps::FieldIo bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 
@@ -55,7 +54,7 @@ apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
   DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
   apps::FdbConfig cfg;
   cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
-  apps::FdbDaos bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 
@@ -66,18 +65,12 @@ int main(int argc, char** argv) {
   std::vector<apps::SweepPoint> servers;
   for (int s : {1, 2, 4, 8, 16, 24}) servers.push_back({s, kPpn});
 
-  const std::pair<const char*, apps::IorDaos::Api> apis[] = {
-      {"ior-libdaos", apps::IorDaos::Api::kDaosArray},
-      {"ior-libdfs", apps::IorDaos::Api::kDfs},
-      {"ior-dfuse", apps::IorDaos::Api::kDfuse},
-      {"ior-dfuse+il", apps::IorDaos::Api::kDfuseIl},
-      {"ior-hdf5-dfuse+il", apps::IorDaos::Api::kHdf5DfuseIl},
-      {"ior-hdf5-libdaos", apps::IorDaos::Api::kHdf5Daos},
-  };
-  for (const auto& [name, api] : apis) {
+  // One sweep series per io::Backend registry name.
+  for (const char* api :
+       {"daos-array", "dfs", "dfuse", "dfuse-il", "hdf5", "hdf5-daos"}) {
     bench::registerSweep(
-        name, servers,
-        [api = api](SweepPoint pt, std::uint64_t seed) {
+        std::string("ior-") + api, servers,
+        [api = std::string(api)](SweepPoint pt, std::uint64_t seed) {
           return runIor(api, pt, seed);
         },
         /*show_iops=*/false, /*col1=*/"servers");

@@ -11,6 +11,7 @@
 // (~30 GiB/s). Both are hardware-optimal given the amplified volume.
 #include "apps/fdb.h"
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -34,7 +35,7 @@ apps::RunResult runIor(ObjClass oclass, SweepPoint pt, std::uint64_t seed) {
   apps::IorConfig cfg;
   cfg.oclass = oclass;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 40000);
-  apps::IorDaos bench(tb, apps::IorDaos::Api::kDaosArray, cfg);
+  apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -46,7 +47,7 @@ apps::RunResult runFdb(ObjClass array_oclass, ObjClass kv_oclass,
   cfg.array_oclass = array_oclass;
   cfg.kv_oclass = kv_oclass;
   cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 20000);
-  apps::FdbDaos bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }

@@ -8,6 +8,7 @@
 // open/read/close on the index and data files and the single MDS saturates.
 #include "apps/fdb.h"
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -28,8 +29,8 @@ apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
   LustreTestbed tb(options16(pt, seed));
   apps::FdbConfig cfg;
   cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 20000);
-  apps::FdbLustre bench(tb, cfg, /*stripe_count=*/8,
-                        /*stripe_size=*/8 << 20);
+  apps::Fdb bench(tb.ioEnv(/*stripe_count=*/8, /*stripe_size=*/8 << 20),
+                  "lustre-posix", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -38,7 +39,8 @@ apps::RunResult runIor(SweepPoint pt, std::uint64_t seed) {
   LustreTestbed tb(options16(pt, seed));
   apps::IorConfig cfg;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 40000);
-  apps::IorLustre bench(tb, cfg, /*stripe_count=*/8, /*stripe_size=*/8 << 20);
+  apps::Ior bench(tb.ioEnv(/*stripe_count=*/8, /*stripe_size=*/8 << 20),
+                  "lustre-posix", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }

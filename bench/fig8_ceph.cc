@@ -10,6 +10,7 @@
 // balance worse.
 #include "apps/fdb.h"
 #include "apps/ior.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -32,7 +33,7 @@ apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed, int pg_count) {
   CephTestbed tb(options16(pt, seed, pg_count));
   apps::FdbConfig cfg;
   cfg.fields = apps::scaledOps(pt.totalProcs(), apps::envOps(1000), 20000);
-  apps::FdbRados bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "rados", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }
@@ -41,7 +42,7 @@ apps::RunResult runIor(SweepPoint pt, std::uint64_t seed) {
   CephTestbed tb(options16(pt, seed));
   apps::IorConfig cfg;
   cfg.ops = 100;  // fits the per-process object within 132 MiB
-  apps::IorRados bench(tb, cfg);
+  apps::Ior bench(tb.ioEnv(), "rados", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(pt.client_nodes),
                        pt.procs_per_node, bench);
 }

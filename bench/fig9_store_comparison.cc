@@ -7,6 +7,7 @@
 // cap near 40 GiB/s on the MDS; Ceph lands at roughly two thirds of DAOS
 // (~40 write / ~70 read).
 #include "apps/fdb.h"
+#include "apps/testbed.h"
 #include "bench_util.h"
 
 namespace {
@@ -29,7 +30,7 @@ apps::RunResult runDaos(SweepPoint pt, std::uint64_t seed) {
   apps::DaosTestbed tb(opt);
   apps::FdbConfig cfg;
   cfg.fields = fieldsFor(pt);
-  apps::FdbDaos bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients),
                        pt.procs_per_node, bench);
 }
@@ -42,7 +43,7 @@ apps::RunResult runLustre(SweepPoint pt, std::uint64_t seed) {
   apps::LustreTestbed tb(opt);
   apps::FdbConfig cfg;
   cfg.fields = fieldsFor(pt);
-  apps::FdbLustre bench(tb, cfg, 8, 8 << 20);
+  apps::Fdb bench(tb.ioEnv(8, 8 << 20), "lustre-posix", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients),
                        pt.procs_per_node, bench);
 }
@@ -55,7 +56,7 @@ apps::RunResult runCeph(SweepPoint pt, std::uint64_t seed) {
   apps::CephTestbed tb(opt);
   apps::FdbConfig cfg;
   cfg.fields = fieldsFor(pt);
-  apps::FdbRados bench(tb, cfg);
+  apps::Fdb bench(tb.ioEnv(), "rados", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(kClients),
                        pt.procs_per_node, bench);
 }

@@ -32,7 +32,7 @@ RunResult runDaos() {
   opt.client_nodes = kClients;
   opt.with_dfuse = false;
   DaosTestbed tb(opt);
-  FdbDaos bench(tb, workload());
+  Fdb bench(tb.ioEnv(), "daos-array", workload());
   return runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 
@@ -41,7 +41,8 @@ RunResult runLustre() {
   opt.oss_nodes = kServers;
   opt.client_nodes = kClients;
   LustreTestbed tb(opt);
-  FdbLustre bench(tb, workload(), /*stripe_count=*/8, /*stripe_size=*/8 << 20);
+  Fdb bench(tb.ioEnv(/*stripe_count=*/8, /*stripe_size=*/8 << 20),
+            "lustre-posix", workload());
   return runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 
@@ -50,7 +51,7 @@ RunResult runCeph() {
   opt.osd_nodes = kServers;
   opt.client_nodes = kClients;
   CephTestbed tb(opt);
-  FdbRados bench(tb, workload());
+  Fdb bench(tb.ioEnv(), "rados", workload());
   return runSpmd(tb.sim(), tb.clientSubset(kClients), kPpn, bench);
 }
 

@@ -1,12 +1,9 @@
 #include "apps/fdb.h"
 
+#include <memory>
 #include <string>
-#include <vector>
 
-#include "daos/array.h"
-#include "daos/kv.h"
-#include "lustre/lustre.h"
-#include "rados/rados.h"
+#include "io/submit_queue.h"
 
 namespace daosim::apps {
 
@@ -22,45 +19,59 @@ std::string fdbKey(int rank, std::uint64_t f, int k) {
          std::to_string(f) + ",k" + std::to_string(k);
 }
 
+std::string fieldName(int rank, std::uint64_t f) {
+  return "fdb.r" + std::to_string(rank) + ".f" + std::to_string(f);
+}
+
 }  // namespace
 
-sim::Task<void> FdbDaos::process(ProcContext ctx) {
-  daos::Client client(
-      tb_->daos(), ctx.node,
-      static_cast<std::uint32_t>(sim::hashCombine(
-          tb_->seed(), 0x30000u + static_cast<std::uint64_t>(ctx.rank))));
-  co_await client.poolConnect();
-  daos::Container cont = co_await client.contOpen("bench");
+sim::Task<void> Fdb::process(ProcContext ctx) {
+  std::unique_ptr<io::Backend> backend = io::makeBackend(
+      api_, env_, ctx.node, spmdClientId(env_.seed, kFdbIdDomain, ctx.rank));
+  co_await backend->connect();
+  const io::Caps& caps = backend->caps();
+  if (caps.native_index) {
+    co_await runNativeIndex(backend.get(), ctx);
+  } else if (caps.append_log) {
+    co_await runAppendLog(backend.get(), ctx);
+  } else {
+    co_await runObjectPerField(backend.get(), ctx);
+  }
+}
 
-  daos::KeyValue index(client, cont, client.nextOid(cfg_.kv_oclass));
-  std::vector<placement::ObjectId> field_oids;
-  field_oids.reserve(cfg_.fields);
+sim::Task<void> Fdb::runNativeIndex(io::Backend* backend, ProcContext ctx) {
+  io::IndexSpec index_spec;
+  index_spec.name = "fdb.index";
+  index_spec.oclass = cfg_.kv_oclass;
+  std::unique_ptr<io::Index> index = co_await backend->openIndex(index_spec);
 
   co_await ctx.barrier->arriveAndWait();
 
   // --- archive ----------------------------------------------------------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    const placement::ObjectId oid = client.nextOid(cfg_.array_oclass);
-    field_oids.push_back(oid);
     // FDB opens arrays with known attributes: no create/metadata RPC.
-    daos::Array array = daos::Array::openWithAttrs(
-        client, cont, oid, {.cell_size = 1, .chunk_size = cfg_.field_size});
+    io::OpenSpec spec;
+    spec.name = fieldName(ctx.rank, f);
+    spec.registered = false;
+    spec.chunk_size = cfg_.field_size;
+    spec.oclass = cfg_.array_oclass;
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
     if (cfg_.async_index) {
-      // Asynchronous libdaos: launch the index puts on an event queue so
-      // they overlap the bulk array write, then drain the queue.
-      daos::EventQueue eq(client.sim());
+      // Launch the index puts on a submit queue so they overlap the bulk
+      // field write, then drain the queue.
+      io::SubmitQueue q(*ctx.sim);
       for (int k = 0; k < cfg_.index_puts_per_field; ++k) {
-        eq.launch(index.put(fdbKey(ctx.rank, f, k),
+        q.launch(index->put(fdbKey(ctx.rank, f, k),
                             vos::Payload::synthetic(cfg_.index_entry_bytes)));
       }
-      co_await array.write(0, fieldData(cfg_.field_size, ctx.rank, f));
-      co_await eq.waitAll();
+      co_await obj->write(0, fieldData(cfg_.field_size, ctx.rank, f));
+      co_await q.waitAll();
     } else {
-      co_await array.write(0, fieldData(cfg_.field_size, ctx.rank, f));
+      co_await obj->write(0, fieldData(cfg_.field_size, ctx.rank, f));
       for (int k = 0; k < cfg_.index_puts_per_field; ++k) {
-        co_await index.put(fdbKey(ctx.rank, f, k),
-                           vos::Payload::synthetic(cfg_.index_entry_bytes));
+        co_await index->put(fdbKey(ctx.rank, f, k),
+                            vos::Payload::synthetic(cfg_.index_entry_bytes));
       }
     }
     ctx.record(kWrite, cfg_.field_size, t0);
@@ -72,30 +83,37 @@ sim::Task<void> FdbDaos::process(ProcContext ctx) {
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
     for (int k = 0; k < cfg_.index_gets_per_field; ++k) {
-      (void)co_await index.get(fdbKey(ctx.rank, f, k));
+      (void)co_await index->get(fdbKey(ctx.rank, f, k));
     }
     // The index records field lengths: open with attrs, read, no size probe.
-    daos::Array array = daos::Array::openWithAttrs(
-        client, cont, field_oids[f],
-        {.cell_size = 1, .chunk_size = cfg_.field_size});
-    (void)co_await array.read(0, cfg_.field_size);
+    io::OpenSpec spec;
+    spec.name = fieldName(ctx.rank, f);
+    spec.create = false;
+    spec.registered = false;
+    spec.chunk_size = cfg_.field_size;
+    spec.oclass = cfg_.array_oclass;
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
+    (void)co_await obj->read(0, cfg_.field_size);
     ctx.record(kRead, cfg_.field_size, t0);
   }
 }
 
-sim::Task<void> FdbLustre::process(ProcContext ctx) {
-  lustre::LustreVfs vfs(tb_->lustre(), ctx.node, stripe_count_, stripe_size_);
-  const std::string data_path = "/fdb.data." + std::to_string(ctx.rank);
-  const std::string index_path = "/fdb.index." + std::to_string(ctx.rank);
+sim::Task<void> Fdb::runAppendLog(io::Backend* backend, ProcContext ctx) {
+  const std::string data_name = "fdb.data." + std::to_string(ctx.rank);
+  const std::string index_name = "fdb.index." + std::to_string(ctx.rank);
 
-  posix::Fd data_fd =
-      co_await vfs.open(data_path, posix::OpenFlags::appendCreate());
-  posix::Fd index_fd =
-      co_await vfs.open(index_path, posix::OpenFlags::appendCreate());
+  io::OpenSpec create;
+  create.append = true;
+  create.name = data_name;
+  std::unique_ptr<io::Object> data = co_await backend->open(create);
+  create.name = index_name;
+  std::unique_ptr<io::Object> index = co_await backend->open(create);
 
   co_await ctx.barrier->arriveAndWait();
 
   // --- archive: buffer fields client-side, flush in large blocks --------
+  std::uint64_t data_off = 0;
+  std::uint64_t index_off = 0;
   std::uint64_t buffered = 0;
   std::uint64_t index_buffered = 0;
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
@@ -103,56 +121,71 @@ sim::Task<void> FdbLustre::process(ProcContext ctx) {
     buffered += cfg_.field_size;
     index_buffered += cfg_.index_entry_bytes;
     if (buffered >= cfg_.flush_block) {
-      co_await vfs.write(data_fd, vos::Payload::synthetic(buffered));
-      co_await vfs.write(index_fd, vos::Payload::synthetic(index_buffered));
+      co_await data->write(data_off, vos::Payload::synthetic(buffered));
+      co_await index->write(index_off,
+                            vos::Payload::synthetic(index_buffered));
+      data_off += buffered;
+      index_off += index_buffered;
       buffered = 0;
       index_buffered = 0;
     }
     ctx.record(kWrite, cfg_.field_size, t0);
   }
   if (buffered > 0) {
-    co_await vfs.write(data_fd, vos::Payload::synthetic(buffered));
-    co_await vfs.write(index_fd, vos::Payload::synthetic(index_buffered));
+    co_await data->write(data_off, vos::Payload::synthetic(buffered));
+    co_await index->write(index_off, vos::Payload::synthetic(index_buffered));
   }
-  co_await vfs.fsync(data_fd);
-  co_await vfs.close(data_fd);
-  co_await vfs.close(index_fd);
+  co_await data->sync();
+  co_await data->close();
+  co_await index->close();
 
   co_await ctx.barrier->arriveAndWait();
 
   // --- retrieve: open/read/close the index and data files per field ------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    posix::Fd ifd = co_await vfs.open(index_path, posix::OpenFlags::readOnly());
-    (void)co_await vfs.pread(ifd, f * cfg_.index_entry_bytes,
-                             cfg_.index_entry_bytes);
-    co_await vfs.close(ifd);
-    posix::Fd dfd = co_await vfs.open(data_path, posix::OpenFlags::readOnly());
-    (void)co_await vfs.pread(dfd, f * cfg_.field_size, cfg_.field_size);
-    co_await vfs.close(dfd);
+    io::OpenSpec open_spec;
+    open_spec.create = false;
+    open_spec.name = index_name;
+    std::unique_ptr<io::Object> ifile = co_await backend->open(open_spec);
+    (void)co_await ifile->read(f * cfg_.index_entry_bytes,
+                               cfg_.index_entry_bytes);
+    co_await ifile->close();
+    open_spec.name = data_name;
+    std::unique_ptr<io::Object> dfile = co_await backend->open(open_spec);
+    (void)co_await dfile->read(f * cfg_.field_size, cfg_.field_size);
+    co_await dfile->close();
     ctx.record(kRead, cfg_.field_size, t0);
   }
 }
 
-sim::Task<void> FdbRados::process(ProcContext ctx) {
-  rados::RadosClient client(tb_->ceph(), ctx.node);
-  co_await client.connect();
-  const std::string prefix =
-      "fdb." + std::to_string(tb_->seed()) + ".r" + std::to_string(ctx.rank);
-  const std::string index_object = prefix + ".index";
+sim::Task<void> Fdb::runObjectPerField(io::Backend* backend,
+                                       ProcContext ctx) {
+  // Per-writer index object, updated with one small write per field. On
+  // size-capped stores (librados) the index write offset wraps within one
+  // object.
+  const std::uint64_t cap = backend->caps().max_object_bytes;
+  const std::uint64_t index_span =
+      cap > cfg_.index_entry_bytes ? cap - cfg_.index_entry_bytes : 0;
+  io::OpenSpec index_spec;
+  index_spec.name = "fdb.r" + std::to_string(ctx.rank) + ".index";
+  std::unique_ptr<io::Object> index = co_await backend->open(index_spec);
 
   co_await ctx.barrier->arriveAndWait();
 
   // --- archive: one object per field + small index-object update ---------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    co_await client.writeFull(prefix + ".f" + std::to_string(f),
-                              fieldData(cfg_.field_size, ctx.rank, f));
-    co_await client.write(
-        index_object,
-        (f * cfg_.index_entry_bytes) %
-            (tb_->ceph().config().max_object_bytes - cfg_.index_entry_bytes),
-        vos::Payload::synthetic(cfg_.index_entry_bytes));
+    io::OpenSpec spec;
+    spec.name = fieldName(ctx.rank, f);
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
+    co_await obj->write(0, fieldData(cfg_.field_size, ctx.rank, f));
+    const std::uint64_t index_off =
+        index_span ? (f * cfg_.index_entry_bytes) % index_span
+                   : f * cfg_.index_entry_bytes;
+    co_await index->write(index_off,
+                          vos::Payload::synthetic(cfg_.index_entry_bytes));
+    co_await obj->close();
     ctx.record(kWrite, cfg_.field_size, t0);
   }
 
@@ -161,13 +194,16 @@ sim::Task<void> FdbRados::process(ProcContext ctx) {
   // --- retrieve: index lookup + object read per field ---------------------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    (void)co_await client.read(index_object,
-                               (f * cfg_.index_entry_bytes) %
-                                   (tb_->ceph().config().max_object_bytes -
-                                    cfg_.index_entry_bytes),
-                               cfg_.index_entry_bytes);
-    (void)co_await client.read(prefix + ".f" + std::to_string(f), 0,
-                               cfg_.field_size);
+    const std::uint64_t index_off =
+        index_span ? (f * cfg_.index_entry_bytes) % index_span
+                   : f * cfg_.index_entry_bytes;
+    (void)co_await index->read(index_off, cfg_.index_entry_bytes);
+    io::OpenSpec spec;
+    spec.name = fieldName(ctx.rank, f);
+    spec.create = false;
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
+    (void)co_await obj->read(0, cfg_.field_size);
+    co_await obj->close();
     ctx.record(kRead, cfg_.field_size, t0);
   }
 }

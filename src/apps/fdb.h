@@ -1,23 +1,27 @@
 // fdb-hammer: the benchmark for ECMWF's FDB domain-specific object store
-// (§II-A4), on its three storage backends.
+// (§II-A4). One benchmark, three storage strategies picked from the
+// backend's io::Caps:
 //
-//  * DAOS backend: one S1 Array + S1 Key-Value index entries per field —
-//    like Field I/O, but with the optimizations FDB carries: arrays are
-//    opened with known attributes (no per-open metadata fetch) and reads
-//    skip the size probe (lengths come from the index).
-//  * POSIX backend: each writer appends to a pair of files (index + data),
-//    buffering small field writes client-side and flushing in large blocks
-//    — the write-optimized pattern. Readers open and read the index and
-//    data files for *every* field, the metadata-heavy pattern that
-//    saturates Lustre's MDS (Fig. 7).
-//  * Ceph backend: one RADOS object per field plus a per-writer index
-//    object updated with small writes (Fig. 8).
+//  * native_index (libdaos): one Array + KV index entries per field — like
+//    Field I/O, but with the optimizations FDB carries: arrays are opened
+//    with known attributes (no per-open metadata fetch) and reads skip the
+//    size probe (lengths come from the index). `async_index` issues the
+//    index puts through an io::SubmitQueue, overlapping them with the bulk
+//    array write (FDB uses the asynchronous libdaos API this way).
+//  * append_log (Lustre POSIX): each writer appends to a pair of files
+//    (index + data), buffering small field writes client-side and flushing
+//    in large blocks — the write-optimized pattern. Readers open and read
+//    the index and data files for *every* field, the metadata-heavy pattern
+//    that saturates Lustre's MDS (Fig. 7).
+//  * otherwise (librados, dfs, dfuse): one object per field plus a
+//    per-writer index object updated with small writes (Fig. 8).
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "apps/runner.h"
-#include "apps/testbed.h"
+#include "io/backend.h"
 #include "placement/objclass.h"
 
 namespace daosim::apps {
@@ -29,49 +33,28 @@ struct FdbConfig {
   placement::ObjClass kv_oclass = placement::ObjClass::S1;
   int index_puts_per_field = 7;
   int index_gets_per_field = 3;
-  /// DAOS backend: issue the index puts asynchronously through a DAOS
-  /// event queue, overlapping them with the field's array write (FDB uses
-  /// the asynchronous libdaos API this way).
+  /// native_index backends: issue the index puts asynchronously,
+  /// overlapping them with the field's bulk write.
   bool async_index = false;
-  /// POSIX backend: client-side buffer flushed in blocks of this size.
+  /// append_log backends: client-side buffer flushed in blocks of this size.
   std::uint64_t flush_block = 32 << 20;
   std::uint64_t index_entry_bytes = 256;
 };
 
-class FdbDaos final : public SpmdBenchmark {
+class Fdb final : public SpmdBenchmark {
  public:
-  FdbDaos(DaosTestbed& tb, FdbConfig cfg) : tb_(&tb), cfg_(cfg) {}
+  Fdb(io::Env env, std::string api, FdbConfig cfg)
+      : env_(env), api_(std::move(api)), cfg_(cfg) {}
+
   sim::Task<void> process(ProcContext ctx) override;
 
  private:
-  DaosTestbed* tb_;
-  FdbConfig cfg_;
-};
+  sim::Task<void> runNativeIndex(io::Backend* backend, ProcContext ctx);
+  sim::Task<void> runAppendLog(io::Backend* backend, ProcContext ctx);
+  sim::Task<void> runObjectPerField(io::Backend* backend, ProcContext ctx);
 
-class FdbLustre final : public SpmdBenchmark {
- public:
-  FdbLustre(LustreTestbed& tb, FdbConfig cfg, int stripe_count = 8,
-            std::uint64_t stripe_size = 8 << 20)
-      : tb_(&tb),
-        cfg_(cfg),
-        stripe_count_(stripe_count),
-        stripe_size_(stripe_size) {}
-  sim::Task<void> process(ProcContext ctx) override;
-
- private:
-  LustreTestbed* tb_;
-  FdbConfig cfg_;
-  int stripe_count_;
-  std::uint64_t stripe_size_;
-};
-
-class FdbRados final : public SpmdBenchmark {
- public:
-  FdbRados(CephTestbed& tb, FdbConfig cfg) : tb_(&tb), cfg_(cfg) {}
-  sim::Task<void> process(ProcContext ctx) override;
-
- private:
-  CephTestbed* tb_;
+  io::Env env_;
+  std::string api_;
   FdbConfig cfg_;
 };
 

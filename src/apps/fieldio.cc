@@ -1,65 +1,64 @@
 #include "apps/fieldio.h"
 
+#include <memory>
+#include <stdexcept>
 #include <string>
-#include <vector>
-
-#include "daos/array.h"
-#include "daos/kv.h"
 
 namespace daosim::apps {
 
 namespace {
-
-/// Shared index object: same OID for every process (keys spread over all
-/// targets through the object's SX layout).
-placement::ObjectId sharedIndexOid(placement::ObjClass oc) {
-  return placement::makeOid(oc, 0xF1E7D, 0xfffffff0u);
-}
 
 std::string indexValue() { return "step=12;param=t;level=500;grid=o1280"; }
 
 }  // namespace
 
 sim::Task<void> FieldIo::process(ProcContext ctx) {
-  daos::Client client(
-      tb_->daos(), ctx.node,
-      static_cast<std::uint32_t>(sim::hashCombine(
-          tb_->seed(), 0x20000u + static_cast<std::uint64_t>(ctx.rank))));
-  co_await client.poolConnect();
-  daos::Container cont = co_await client.contOpen("bench");
+  std::unique_ptr<io::Backend> backend =
+      io::makeBackend(api_, env_, ctx.node,
+                      spmdClientId(env_.seed, kFieldIoIdDomain, ctx.rank));
+  co_await backend->connect();
+  if (!backend->caps().native_index) {
+    throw std::invalid_argument("fieldio: backend '" + api_ +
+                                "' has no native key-value index");
+  }
 
-  daos::KeyValue own_index(client, cont, client.nextOid(cfg_.kv_oclass));
-  daos::KeyValue shared_index(client, cont,
-                              sharedIndexOid(cfg_.kv_oclass));
-
-  // The field OIDs this process wrote, for the read phase.
-  std::vector<placement::ObjectId> field_oids;
-  field_oids.reserve(cfg_.fields);
+  io::IndexSpec own_spec;
+  own_spec.name = "fieldio.own";
+  own_spec.oclass = cfg_.kv_oclass;
+  std::unique_ptr<io::Index> own_index =
+      co_await backend->openIndex(own_spec);
+  io::IndexSpec shared_spec;
+  shared_spec.name = "fieldio.shared";
+  shared_spec.shared = true;
+  shared_spec.oclass = cfg_.kv_oclass;
+  std::unique_ptr<io::Index> shared_index =
+      co_await backend->openIndex(shared_spec);
 
   co_await ctx.barrier->arriveAndWait();
 
   // --- write phase ------------------------------------------------------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    const placement::ObjectId oid = client.nextOid(cfg_.array_oclass);
-    field_oids.push_back(oid);
-    // Field I/O creates the array (registering attributes) per field.
-    daos::Array array = co_await daos::Array::create(
-        client, cont, oid, {.cell_size = 1, .chunk_size = cfg_.field_size});
-    co_await array.write(
+    // Field I/O creates the object (registering attributes) per field.
+    io::OpenSpec spec;
+    spec.name = "f" + std::to_string(f);
+    spec.chunk_size = cfg_.field_size;
+    spec.oclass = cfg_.array_oclass;
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
+    co_await obj->write(
         0, vos::Payload::synthetic(
                cfg_.field_size,
                sim::hashCombine(static_cast<std::uint64_t>(ctx.rank), f)));
     // Index entries: process-exclusive and shared.
-    const std::string key = "r" + std::to_string(ctx.rank) + ".f" +
-                            std::to_string(f);
+    const std::string key =
+        "r" + std::to_string(ctx.rank) + ".f" + std::to_string(f);
     for (int k = 0; k < cfg_.index_puts_exclusive; ++k) {
-      co_await own_index.put(key + ".k" + std::to_string(k),
-                             vos::Payload::fromString(indexValue()));
+      co_await own_index->put(key + ".k" + std::to_string(k),
+                              vos::Payload::fromString(indexValue()));
     }
     for (int k = 0; k < cfg_.index_puts_shared; ++k) {
-      co_await shared_index.put(key + ".s" + std::to_string(k),
-                                vos::Payload::fromString(indexValue()));
+      co_await shared_index->put(key + ".s" + std::to_string(k),
+                                 vos::Payload::fromString(indexValue()));
     }
     ctx.record(kWrite, cfg_.field_size, t0);
   }
@@ -69,20 +68,23 @@ sim::Task<void> FieldIo::process(ProcContext ctx) {
   // --- read phase ---------------------------------------------------------
   for (std::uint64_t f = 0; f < cfg_.fields; ++f) {
     const sim::Time t0 = ctx.sim->now();
-    const std::string key = "r" + std::to_string(ctx.rank) + ".f" +
-                            std::to_string(f);
+    const std::string key =
+        "r" + std::to_string(ctx.rank) + ".f" + std::to_string(f);
     for (int k = 0; k < cfg_.index_gets_exclusive; ++k) {
-      (void)co_await own_index.get(key + ".k" + std::to_string(k));
+      (void)co_await own_index->get(key + ".k" + std::to_string(k));
     }
     for (int k = 0; k < cfg_.index_gets_shared; ++k) {
-      (void)co_await shared_index.get(key + ".s" + std::to_string(k));
+      (void)co_await shared_index->get(key + ".s" + std::to_string(k));
     }
-    daos::Array array = co_await daos::Array::open(client, cont,
-                                                   field_oids[f]);
-    // Size probe before every read: Field I/O does not implement the
-    // size-check-avoidance optimization fdb-hammer has.
-    const std::uint64_t size = co_await array.getSize();
-    (void)co_await array.read(0, size);
+    // Reopen the field with a metadata fetch, then probe the size before
+    // every read: Field I/O does not implement the size-check-avoidance
+    // optimization fdb-hammer has.
+    io::OpenSpec spec;
+    spec.name = "f" + std::to_string(f);
+    spec.create = false;
+    std::unique_ptr<io::Object> obj = co_await backend->open(spec);
+    const std::uint64_t size = co_await obj->size();
+    (void)co_await obj->read(0, size);
     ctx.record(kRead, size, t0);
   }
 }

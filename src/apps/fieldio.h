@@ -1,19 +1,23 @@
 // Field I/O: ECMWF's standalone weather-field benchmark (§II-A3).
 //
 // Each process writes a sequence of fields; every field is stored in its
-// own DAOS Array (S1 in the paper's tuning) and indexed with Key-Value
-// puts, some into an index object exclusive to the process and some into an
-// index shared by all processes (SX). In read mode the same sequence is
-// retrieved by querying the Key-Values, checking the array size, and
-// reading the Array — the size check ahead of every read is the behaviour
-// the paper singles out as the reason Field I/O's read scaling trails
-// fdb-hammer's.
+// own object (a DAOS Array, S1 in the paper's tuning) and indexed with
+// Key-Value puts, some into an index object exclusive to the process and
+// some into an index shared by all processes (SX). In read mode the same
+// sequence is retrieved by querying the Key-Values, checking the object
+// size, and reading it — the size check ahead of every read is the
+// behaviour the paper singles out as the reason Field I/O's read scaling
+// trails fdb-hammer's.
+//
+// Field I/O is written against libdaos KV indexes, so it requires a
+// backend with caps().native_index (daos-array today).
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "apps/runner.h"
-#include "apps/testbed.h"
+#include "io/backend.h"
 #include "placement/objclass.h"
 
 namespace daosim::apps {
@@ -34,12 +38,16 @@ struct FieldIoConfig {
 
 class FieldIo final : public SpmdBenchmark {
  public:
-  FieldIo(DaosTestbed& tb, FieldIoConfig cfg) : tb_(&tb), cfg_(cfg) {}
+  /// Throws std::invalid_argument from process() if the named backend has
+  /// no native key-value index.
+  FieldIo(io::Env env, std::string api, FieldIoConfig cfg)
+      : env_(env), api_(std::move(api)), cfg_(cfg) {}
 
   sim::Task<void> process(ProcContext ctx) override;
 
  private:
-  DaosTestbed* tb_;
+  io::Env env_;
+  std::string api_;
   FieldIoConfig cfg_;
 };
 

@@ -1,10 +1,9 @@
 #include "apps/ior.h"
 
-#include <optional>
+#include <memory>
 #include <string>
 
-#include "daos/array.h"
-#include "hdf5/h5.h"
+#include "io/submit_queue.h"
 
 namespace daosim::apps {
 
@@ -15,265 +14,90 @@ vos::Payload block(std::uint64_t size, int rank, std::uint64_t op) {
       size, sim::hashCombine(static_cast<std::uint64_t>(rank), op));
 }
 
-/// The well-known OID every rank agrees on for shared-file mode.
-placement::ObjectId sharedOid(placement::ObjClass oc, std::uint64_t seed) {
-  return placement::makeOid(oc, sim::hashCombine(seed, 0x510AD),
-                            0xfffffff1u);
+/// One timed transfer, spawnable as its own process for queue_depth > 1.
+sim::Task<void> timedOp(io::Object* obj, ProcContext ctx, Phase phase,
+                        std::uint64_t offset, std::uint64_t len,
+                        std::uint64_t opno) {
+  const sim::Time t0 = ctx.sim->now();
+  if (phase == kWrite) {
+    co_await obj->write(offset, block(len, ctx.rank, opno));
+  } else {
+    (void)co_await obj->read(offset, len);
+  }
+  ctx.record(phase, len, t0);
 }
 
 }  // namespace
 
-sim::Task<void> IorDaos::process(ProcContext ctx) {
-  switch (api_) {
-    case Api::kDaosArray:
-      co_await runDaosArray(ctx);
-      break;
-    case Api::kDfs:
-      co_await runDfs(ctx);
-      break;
-    case Api::kDfuse:
-      co_await runPosix(ctx, /*intercept=*/false);
-      break;
-    case Api::kDfuseIl:
-      co_await runPosix(ctx, /*intercept=*/true);
-      break;
-    case Api::kHdf5DfuseIl:
-      co_await runHdf5Posix(ctx);
-      break;
-    case Api::kHdf5Daos:
-      co_await runHdf5Daos(ctx);
-      break;
-  }
-}
+sim::Task<void> Ior::process(ProcContext ctx) {
+  std::unique_ptr<io::Backend> backend = io::makeBackend(
+      api_, env_, ctx.node, spmdClientId(env_.seed, kIorIdDomain, ctx.rank));
+  co_await backend->connect();
 
-sim::Task<void> IorDaos::runDaosArray(ProcContext ctx) {
-  daos::Client client(tb_->daos(), ctx.node, clientId(ctx.rank));
-  co_await client.poolConnect();
-  daos::Container cont = co_await client.contOpen("bench");
+  // Single-shared-file needs a well-known shared identity; backends
+  // without one (the POSIX/HDF5/RADOS paths) run file-per-process, as the
+  // paper's runs on those interfaces do.
+  const bool shared = cfg_.shared_file && backend->caps().shared_object;
 
-  const daos::Array::Attrs attrs{.cell_size = 1, .chunk_size = 1 << 20};
-  std::optional<daos::Array> array;
-  std::uint64_t base = 0;  // this rank's first byte within the array
-  if (cfg_.shared_file) {
-    const placement::ObjectId oid = sharedOid(cfg_.oclass, tb_->seed());
+  std::unique_ptr<io::Object> obj;
+  std::uint64_t base = 0;  // this rank's first byte within the object
+  io::OpenSpec spec;
+  spec.oclass = cfg_.oclass;
+  if (shared) {
+    spec.name = "ior.shared";
+    spec.shared = true;
     if (ctx.rank == 0) {
-      array.emplace(co_await daos::Array::create(client, cont, oid, attrs));
+      spec.create = true;
+      obj = co_await backend->open(spec);
     }
     co_await ctx.barrier->arriveAndWait();  // create-before-open, as in IOR
     if (ctx.rank != 0) {
-      array.emplace(daos::Array::openWithAttrs(client, cont, oid, attrs));
+      // The creating rank broadcast the attributes: open without a
+      // metadata fetch.
+      spec.create = false;
+      spec.registered = false;
+      obj = co_await backend->open(spec);
     }
     base = static_cast<std::uint64_t>(ctx.rank) * cfg_.ops * cfg_.transfer;
   } else {
-    array.emplace(co_await daos::Array::create(
-        client, cont, client.nextOid(cfg_.oclass), attrs));
+    spec.name = "ior." + std::to_string(ctx.rank);
+    spec.create = true;
+    obj = co_await backend->open(spec);
   }
 
   co_await ctx.barrier->arriveAndWait();
   if (cfg_.write_phase) {
+    co_await runPhase(obj.get(), ctx, kWrite, base);
+  }
+  co_await ctx.barrier->arriveAndWait();
+  if (cfg_.read_phase) {
+    co_await runPhase(obj.get(), ctx, kRead, base);
+  }
+  co_await obj->close();
+}
+
+sim::Task<void> Ior::runPhase(io::Object* obj, ProcContext ctx, Phase phase,
+                              std::uint64_t base) {
+  if (cfg_.queue_depth <= 1) {
+    // Sequential issue: no spawning, identical to the pre-io:: benchmarks.
     for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
       const sim::Time t0 = ctx.sim->now();
-      co_await array->write(base + i * cfg_.transfer,
+      if (phase == kWrite) {
+        co_await obj->write(base + i * cfg_.transfer,
                             block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
+      } else {
+        (void)co_await obj->read(base + i * cfg_.transfer, cfg_.transfer);
+      }
+      ctx.record(phase, cfg_.transfer, t0);
     }
+    co_return;
   }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      (void)co_await array->read(base + i * cfg_.transfer, cfg_.transfer);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
+  io::SubmitQueue q(*ctx.sim, static_cast<std::size_t>(cfg_.queue_depth));
+  for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
+    co_await q.submit(
+        timedOp(obj, ctx, phase, base + i * cfg_.transfer, cfg_.transfer, i));
   }
-}
-
-sim::Task<void> IorDaos::runDfs(ProcContext ctx) {
-  daos::Client client(tb_->daos(), ctx.node, clientId(ctx.rank));
-  co_await client.poolConnect();
-  dfs::FileSystem fs = tb_->dfsMount().withClient(client);
-  posix::DfsVfs vfs(fs);
-
-  // File per process, or one shared file in rank-segmented regions.
-  std::optional<dfs::File> file;
-  std::uint64_t base = 0;
-  if (cfg_.shared_file) {
-    if (ctx.rank == 0) {
-      file.emplace(co_await fs.open("/bench/ior.shared", {.create = true},
-                                    cfg_.oclass));
-    }
-    co_await ctx.barrier->arriveAndWait();
-    if (ctx.rank != 0) {
-      file.emplace(co_await fs.open("/bench/ior.shared", {}));
-    }
-    base = static_cast<std::uint64_t>(ctx.rank) * cfg_.ops * cfg_.transfer;
-  } else {
-    file.emplace(co_await fs.open("/bench/ior." + std::to_string(ctx.rank),
-                                  {.create = true}, cfg_.oclass));
-  }
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      co_await fs.write(*file, base + i * cfg_.transfer,
-                        block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      (void)co_await fs.read(*file, base + i * cfg_.transfer, cfg_.transfer);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
-}
-
-sim::Task<void> IorDaos::runPosix(ProcContext ctx, bool intercept) {
-  daos::Client client(tb_->daos(), ctx.node, clientId(ctx.rank));
-  co_await client.poolConnect();
-  posix::DfuseDaemon& daemon = tb_->daemon(ctx.node);
-  posix::DfuseVfs plain(daemon);
-  dfs::FileSystem process_fs = tb_->dfsMount().withClient(client);
-  posix::InterceptVfs il(daemon, process_fs);
-  posix::Vfs& vfs = intercept ? static_cast<posix::Vfs&>(il)
-                              : static_cast<posix::Vfs&>(plain);
-
-  const std::string path = "/bench/ior." + std::to_string(ctx.rank);
-  posix::Fd fd = co_await vfs.open(path, posix::OpenFlags::writeCreate());
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      co_await vfs.pwrite(fd, i * cfg_.transfer,
-                          block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      (void)co_await vfs.pread(fd, i * cfg_.transfer, cfg_.transfer);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
-  co_await vfs.close(fd);
-}
-
-sim::Task<void> IorDaos::runHdf5Posix(ProcContext ctx) {
-  daos::Client client(tb_->daos(), ctx.node, clientId(ctx.rank));
-  co_await client.poolConnect();
-  posix::DfuseDaemon& daemon = tb_->daemon(ctx.node);
-  dfs::FileSystem process_fs = tb_->dfsMount().withClient(client);
-  posix::InterceptVfs vfs(daemon, process_fs);
-
-  auto file = co_await hdf5::H5PosixFile::create(
-      *ctx.sim, vfs, "/bench/ior." + std::to_string(ctx.rank) + ".h5");
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      hdf5::Dataset d = co_await file->createDataset(
-          "d" + std::to_string(i), cfg_.transfer);
-      co_await file->writeDataset(d, block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      hdf5::Dataset d = co_await file->openDataset("d" + std::to_string(i));
-      (void)co_await file->readDataset(d);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
-  co_await file->close();
-}
-
-sim::Task<void> IorDaos::runHdf5Daos(ProcContext ctx) {
-  daos::Client client(tb_->daos(), ctx.node, clientId(ctx.rank));
-  co_await client.poolConnect();
-
-  // The DAOS VOL creates one container per HDF5 file — per process here.
-  auto file = co_await hdf5::H5DaosFile::create(
-      client, "ior." + std::to_string(ctx.rank));
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      hdf5::Dataset d = co_await file->createDataset(
-          "d" + std::to_string(i), cfg_.transfer);
-      co_await file->writeDataset(d, block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      hdf5::Dataset d = co_await file->openDataset("d" + std::to_string(i));
-      (void)co_await file->readDataset(d);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
-  co_await file->close();
-}
-
-sim::Task<void> IorLustre::process(ProcContext ctx) {
-  lustre::LustreVfs vfs(tb_->lustre(), ctx.node, stripe_count_, stripe_size_);
-  posix::Fd fd = co_await vfs.open("/ior." + std::to_string(ctx.rank),
-                                   posix::OpenFlags::writeCreate());
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      co_await vfs.pwrite(fd, i * cfg_.transfer,
-                          block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      (void)co_await vfs.pread(fd, i * cfg_.transfer, cfg_.transfer);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
-  co_await vfs.close(fd);
-}
-
-sim::Task<void> IorRados::process(ProcContext ctx) {
-  rados::RadosClient client(tb_->ceph(), ctx.node);
-  co_await client.connect();
-  const std::string object =
-      "ior." + std::to_string(tb_->seed()) + "." + std::to_string(ctx.rank);
-
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.write_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      co_await client.write(object, i * cfg_.transfer,
-                            block(cfg_.transfer, ctx.rank, i));
-      ctx.record(kWrite, cfg_.transfer, t0);
-    }
-  }
-  co_await ctx.barrier->arriveAndWait();
-  if (cfg_.read_phase) {
-    for (std::uint64_t i = 0; i < cfg_.ops; ++i) {
-      const sim::Time t0 = ctx.sim->now();
-      (void)co_await client.read(object, i * cfg_.transfer, cfg_.transfer);
-      ctx.record(kRead, cfg_.transfer, t0);
-    }
-  }
+  co_await q.waitAll();
 }
 
 }  // namespace daosim::apps

@@ -2,15 +2,17 @@
 //
 // Every process creates one array/file/object, all processes synchronize,
 // then each issues `ops` sequential transfers of `transfer` bytes (write
-// phase, barrier, read phase). Backends cover every API the paper tests:
+// phase, barrier, read phase). The benchmark is backend-neutral: it drives
+// any io::Backend registered by name, covering every API the paper tests —
 // libdaos arrays, libdfs, DFUSE, DFUSE+IL, HDF5 over DFUSE+IL, HDF5 over
 // the DAOS VOL, POSIX on Lustre, and librados on Ceph.
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "apps/runner.h"
-#include "apps/testbed.h"
+#include "io/backend.h"
 #include "placement/objclass.h"
 
 namespace daosim::apps {
@@ -23,75 +25,31 @@ struct IorConfig {
   bool read_phase = true;
   /// IOR -F vs single-shared-file: with shared_file, every process works on
   /// one array/file in disjoint rank-segmented regions (rank 0 creates it,
-  /// the rest open it after a barrier, as IOR does over MPI).
+  /// the rest open it after a barrier, as IOR does over MPI). Only honoured
+  /// on backends with caps().shared_object; others fall back to
+  /// file-per-process.
   bool shared_file = false;
+  /// In-flight operations per process, issued through an io::SubmitQueue
+  /// (the async event-queue analogue). 1 = fully sequential issue, the
+  /// paper's baseline behaviour.
+  int queue_depth = 1;
 };
 
-/// IOR against a DAOS testbed, through one of the DAOS-side APIs.
-class IorDaos final : public SpmdBenchmark {
+/// IOR against any registered io::Backend (`api` is an io::Backend registry
+/// name, e.g. "daos-array", "dfs", "lustre-posix", "rados").
+class Ior final : public SpmdBenchmark {
  public:
-  enum class Api {
-    kDaosArray,   // libdaos backend
-    kDfs,         // libdfs backend
-    kDfuse,       // POSIX backend on a DFUSE mount
-    kDfuseIl,     // POSIX backend on DFUSE + interception library
-    kHdf5DfuseIl,  // HDF5 backend, POSIX driver over DFUSE + IL
-    kHdf5Daos,     // HDF5 backend, DAOS VOL adaptor
-  };
-
-  IorDaos(DaosTestbed& tb, Api api, IorConfig cfg)
-      : tb_(&tb), api_(api), cfg_(cfg) {}
+  Ior(io::Env env, std::string api, IorConfig cfg)
+      : env_(env), api_(std::move(api)), cfg_(cfg) {}
 
   sim::Task<void> process(ProcContext ctx) override;
 
  private:
-  sim::Task<void> runDaosArray(ProcContext ctx);
-  sim::Task<void> runDfs(ProcContext ctx);
-  sim::Task<void> runPosix(ProcContext ctx, bool intercept);
-  sim::Task<void> runHdf5Posix(ProcContext ctx);
-  sim::Task<void> runHdf5Daos(ProcContext ctx);
+  sim::Task<void> runPhase(io::Object* obj, ProcContext ctx, Phase phase,
+                           std::uint64_t base);
 
-  /// Per-rank client identity, salted by the testbed seed so repetitions
-  /// draw different OIDs (and hence placements), like real reruns do.
-  std::uint32_t clientId(int rank) const {
-    return static_cast<std::uint32_t>(sim::hashCombine(
-        tb_->seed(), 0x10000u + static_cast<std::uint64_t>(rank)));
-  }
-
-  DaosTestbed* tb_;
-  Api api_;
-  IorConfig cfg_;
-};
-
-/// IOR POSIX backend against Lustre (file per process, striped).
-class IorLustre final : public SpmdBenchmark {
- public:
-  IorLustre(LustreTestbed& tb, IorConfig cfg, int stripe_count = 8,
-            std::uint64_t stripe_size = 8 << 20)
-      : tb_(&tb),
-        cfg_(cfg),
-        stripe_count_(stripe_count),
-        stripe_size_(stripe_size) {}
-
-  sim::Task<void> process(ProcContext ctx) override;
-
- private:
-  LustreTestbed* tb_;
-  IorConfig cfg_;
-  int stripe_count_;
-  std::uint64_t stripe_size_;
-};
-
-/// IOR librados backend against Ceph (object per process; the paper caps
-/// runs at 100 x 1 MiB to fit the 132 MiB object-size recommendation).
-class IorRados final : public SpmdBenchmark {
- public:
-  IorRados(CephTestbed& tb, IorConfig cfg) : tb_(&tb), cfg_(cfg) {}
-
-  sim::Task<void> process(ProcContext ctx) override;
-
- private:
-  CephTestbed* tb_;
+  io::Env env_;
+  std::string api_;
   IorConfig cfg_;
 };
 

@@ -13,6 +13,7 @@
 
 #include "hw/cluster.h"
 #include "obs/histogram.h"
+#include "sim/rng.h"
 #include "sim/simulation.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -21,6 +22,20 @@
 namespace daosim::apps {
 
 enum Phase : int { kWrite = 0, kRead = 1 };
+
+/// Identity-salt domains: each benchmark stamps its client ids (and hence
+/// its OID space) from a disjoint range.
+inline constexpr std::uint32_t kIorIdDomain = 0x10000;
+inline constexpr std::uint32_t kFieldIoIdDomain = 0x20000;
+inline constexpr std::uint32_t kFdbIdDomain = 0x30000;
+
+/// Per-rank client identity, salted by the testbed seed so repetitions draw
+/// different OIDs (and hence placements), like real reruns do.
+inline std::uint32_t spmdClientId(std::uint64_t seed, std::uint32_t domain,
+                                  int rank) {
+  return static_cast<std::uint32_t>(sim::hashCombine(
+      seed, domain + static_cast<std::uint64_t>(rank)));
+}
 
 struct PhaseResult {
   std::uint64_t bytes = 0;

@@ -15,6 +15,7 @@
 #include "daos/system.h"
 #include "dfs/dfs.h"
 #include "hw/cluster.h"
+#include "io/backend.h"
 #include "lustre/lustre.h"
 #include "posix/dfuse.h"
 #include "rados/rados.h"
@@ -51,6 +52,18 @@ class DaosTestbed {
     return daemons_;
   }
   std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Env for io::makeBackend, pointing into this testbed (which must
+  /// outlive any backend made from it).
+  io::Env ioEnv() noexcept {
+    io::Env env;
+    env.sim = &sim_;
+    env.seed = seed_;
+    env.daos = daos_.get();
+    env.dfs_mount = dfs_ ? &*dfs_ : nullptr;
+    env.dfuse_daemons = &daemons_;
+    return env;
+  }
 
   /// First `n` client nodes.
   std::vector<hw::NodeId> clientSubset(int n) const {
@@ -89,6 +102,19 @@ class LustreTestbed {
   lustre::LustreSystem& lustre() noexcept { return *lustre_; }
   const std::vector<hw::NodeId>& clients() const noexcept { return clients_; }
   std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Env for io::makeBackend. Stripe settings default to the paper's
+  /// benchmark tuning (8 stripes x 8 MiB).
+  io::Env ioEnv(int stripe_count = 8,
+                std::uint64_t stripe_size = 8 << 20) noexcept {
+    io::Env env;
+    env.sim = &sim_;
+    env.seed = seed_;
+    env.lustre = lustre_.get();
+    env.lustre_stripe_count = stripe_count;
+    env.lustre_stripe_size = stripe_size;
+    return env;
+  }
   std::vector<hw::NodeId> clientSubset(int n) const {
     return {clients_.begin(), clients_.begin() + n};
   }
@@ -119,6 +145,15 @@ class CephTestbed {
   rados::CephCluster& ceph() noexcept { return *ceph_; }
   const std::vector<hw::NodeId>& clients() const noexcept { return clients_; }
   std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Env for io::makeBackend.
+  io::Env ioEnv() noexcept {
+    io::Env env;
+    env.sim = &sim_;
+    env.seed = seed_;
+    env.ceph = ceph_.get();
+    return env;
+  }
   std::vector<hw::NodeId> clientSubset(int n) const {
     return {clients_.begin(), clients_.begin() + n};
   }

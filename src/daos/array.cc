@@ -68,7 +68,7 @@ sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + data.size(), op);
+                        data.size(), op);
   co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
                                std::move(data), op);
   co_await net::respond(cluster, engine->node(), client->node(), 0, op);
@@ -82,7 +82,7 @@ sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest, op);
+                        0, op);
   vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
                                                offset, length, op);
   co_await net::respond(cluster, engine->node(), client->node(), p.size(), op);
@@ -97,7 +97,7 @@ sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest, op);
+                        0, op);
   co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size,
                                       op);
   co_await net::respond(cluster, engine->node(), client->node(), 0, op);
@@ -138,7 +138,7 @@ sim::Task<void> metaPutOp(Client* client, vos::ContId cont, ObjectId oid,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + meta.size());
+                        meta.size());
   co_await engine->valuePut(local, cont, oid, kMetaDkey, "0",
                             std::move(meta));
   co_await net::respond(cluster, engine->node(), client->node(), 0);
@@ -176,7 +176,7 @@ sim::Task<Array> Array::open(Client& client, Container cont, ObjectId oid) {
         client.system().locateTarget(layout.target(0, m));
     try {
       co_await net::request(cluster, client.node(), engine->node(),
-                            net::kSmallRequest);
+                            0);
       Engine::GetResult r =
           co_await engine->valueGet(local, cont.id, oid, kMetaDkey, "0");
       co_await net::respond(cluster, engine->node(), client.node(),
@@ -440,7 +440,7 @@ sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out,
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
   co_await net::request(cluster, client_->node(), engine->node(),
-                        net::kSmallRequest, op);
+                        0, op);
   *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
                                         attrs_.chunk_size, op);
   co_await net::respond(cluster, engine->node(), client_->node(), 16, op);
@@ -516,7 +516,7 @@ sim::Task<void> Array::setSize(std::uint64_t size) {
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
   co_await net::request(cluster, client_->node(), engine->node(),
-                        net::kSmallRequest);
+                        0);
   {
     Target& t = engine->target(local);
     co_await t.xstream().exec(engine->config().engine.rpc_cpu);

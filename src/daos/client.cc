@@ -13,7 +13,7 @@ sim::Task<void> punchShardOp(Client* client, vos::ContId cont, ObjectId oid,
                              int target) {
   auto [engine, local] = client->system().locateTarget(target);
   co_await net::request(client->system().cluster(), client->node(),
-                        engine->node(), net::kSmallRequest);
+                        engine->node(), 0);
   co_await engine->punchObject(local, cont, oid);
   co_await net::respond(client->system().cluster(), engine->node(),
                         client->node(), 0);
@@ -24,7 +24,7 @@ sim::Task<void> punchShardOp(Client* client, vos::ContId cont, ObjectId oid,
 sim::Task<void> Client::poolConnect() {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest);
+                        0);
   co_await ps.handleConnect();
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 0);
 }
@@ -32,7 +32,7 @@ sim::Task<void> Client::poolConnect() {
 sim::Task<Client::PoolInfo> Client::poolQuery() {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest);
+                        0);
   co_await ps.handleContQuery();  // same leader-side query cost
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 256);
   PoolInfo info;
@@ -51,7 +51,7 @@ sim::Task<Client::PoolInfo> Client::poolQuery() {
 sim::Task<Container> Client::contCreate(std::string name) {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest + name.size());
+                        name.size());
   vos::ContId id = co_await ps.handleContCreate(name);
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 64);
   if (id == 0) {
@@ -63,7 +63,7 @@ sim::Task<Container> Client::contCreate(std::string name) {
 sim::Task<Container> Client::contOpen(std::string name) {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest + name.size());
+                        name.size());
   vos::ContId id = co_await ps.handleContOpen(name);
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 64);
   if (id == 0) {
@@ -75,7 +75,7 @@ sim::Task<Container> Client::contOpen(std::string name) {
 sim::Task<void> Client::contDestroy(std::string name) {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest + name.size());
+                        name.size());
   vos::ContId id = co_await ps.handleContDestroy(name);
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 16);
   if (id == 0) {
@@ -95,7 +95,7 @@ sim::Task<ObjectId> Client::allocOids(const Container& cont,
                                       std::uint64_t count, ObjClass oc) {
   PoolService& ps = system_->poolService();
   co_await net::request(system_->cluster(), node_, ps.leaderNode(),
-                        net::kSmallRequest);
+                        0);
   std::uint64_t first = co_await ps.handleAllocOids(cont.id, count);
   co_await net::respond(system_->cluster(), ps.leaderNode(), node_, 32);
   if (first == 0) throw std::runtime_error("allocOids: bad container");

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "daos/system.h"
+#include "io/submit_queue.h"
 #include "net/rpc.h"
 #include "obs/observer.h"
 #include "placement/layout.h"
@@ -123,31 +124,8 @@ class Client {
 };
 
 /// Tracks asynchronously launched operations (daos event queue analogue).
-class EventQueue {
- public:
-  explicit EventQueue(sim::Simulation& sim) : sim_(&sim) {}
-
-  void launch(sim::Task<void> op) { inflight_.push_back(sim_->spawn(std::move(op))); }
-
-  std::size_t inFlight() const noexcept { return inflight_.size(); }
-
-  /// Waits for all launched operations; rethrows the first failure.
-  sim::Task<void> waitAll() {
-    std::exception_ptr first;
-    for (auto& h : inflight_) {
-      try {
-        co_await h.join();
-      } catch (...) {
-        if (!first) first = std::current_exception();
-      }
-    }
-    inflight_.clear();
-    if (first) std::rethrow_exception(first);
-  }
-
- private:
-  sim::Simulation* sim_;
-  std::vector<sim::ProcHandle> inflight_;
-};
+/// The generalized, depth-bounded implementation lives in io::SubmitQueue;
+/// an EventQueue is one with unbounded depth (launch + waitAll).
+using EventQueue = io::SubmitQueue;
 
 }  // namespace daosim::daos

@@ -19,7 +19,7 @@ sim::Task<void> putReplicaOp(Client* client, vos::ContId cont, ObjectId oid,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + key.size() + value.size(), op);
+                        key.size() + value.size(), op);
   co_await engine->valuePut(local, cont, oid, std::move(key), kValueAkey,
                             std::move(value), op);
   co_await net::respond(cluster, engine->node(), client->node(), 0, op);
@@ -31,7 +31,7 @@ sim::Task<void> removeReplicaOp(Client* client, vos::ContId cont,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest + key.size());
+                        key.size());
   co_await engine->valueRemove(local, cont, oid, std::move(key), kValueAkey);
   co_await net::respond(cluster, engine->node(), client->node(), 0);
 }
@@ -42,7 +42,7 @@ sim::Task<void> listGroupOp(Client* client, vos::ContId cont, ObjectId oid,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   co_await net::request(cluster, client->node(), engine->node(),
-                        net::kSmallRequest);
+                        0);
   *out = co_await engine->listDkeys(local, cont, oid);
   std::uint64_t bytes = 0;
   for (const auto& k : *out) bytes += k.size() + 16;
@@ -78,7 +78,7 @@ sim::Task<std::optional<vos::Payload>> KeyValue::get(std::string key) {
         client_->system().locateTarget(layout_.target(group, r));
     try {
       co_await net::request(cluster, client_->node(), engine->node(),
-                            net::kSmallRequest + key.size(), span.id());
+                            key.size(), span.id());
       Engine::GetResult g = co_await engine->valueGet(
           local, cont_.id, oid_, key, kValueAkey, span.id());
       co_await net::respond(cluster, engine->node(), client_->node(),

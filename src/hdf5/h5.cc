@@ -209,7 +209,7 @@ daos::KeyValue H5DaosFile::rootKv() {
 sim::Task<void> H5DaosFile::leaderQuery() {
   daos::PoolService& ps = client_->system().poolService();
   co_await net::request(client_->system().cluster(), client_->node(),
-                        ps.leaderNode(), net::kSmallRequest);
+                        ps.leaderNode(), 0);
   co_await ps.handleContQuery();
   co_await net::respond(client_->system().cluster(), ps.leaderNode(),
                         client_->node(), 64);

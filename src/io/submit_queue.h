@@ -1,0 +1,73 @@
+// io::SubmitQueue: bounded-depth asynchronous operation submission.
+//
+// Generalizes the libdaos event-queue analogue to any backend: ops are
+// spawned as simulation processes, and `submit` blocks the issuing process
+// once `depth` ops are in flight — the fixed-queue-depth issue pattern IOR
+// uses with asynchronous APIs. depth = 0 means unbounded (pure
+// launch/waitAll, the daos_eq_poll behaviour); the POSIX/Lustre/RADOS
+// backends get the same in-flight parallelism because each spawned op is an
+// independent simulation process regardless of which storage stack it
+// drives.
+//
+// Failures are held until waitAll(), which rethrows the first one — like
+// an application checking event statuses at drain time.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <utility>
+
+#include "sim/simulation.h"
+#include "sim/task.h"
+
+namespace daosim::io {
+
+class SubmitQueue {
+ public:
+  explicit SubmitQueue(sim::Simulation& sim, std::size_t depth = 0)
+      : sim_(&sim), depth_(depth) {}
+
+  /// Spawns `op` immediately, regardless of depth.
+  void launch(sim::Task<void> op) {
+    inflight_.push_back(sim_->spawn(std::move(op)));
+  }
+
+  /// Spawns `op`, first waiting for the oldest in-flight op to complete
+  /// while the queue is at depth.
+  sim::Task<void> submit(sim::Task<void> op) {
+    while (depth_ > 0 && inflight_.size() >= depth_) {
+      co_await joinOldest();
+    }
+    inflight_.push_back(sim_->spawn(std::move(op)));
+  }
+
+  /// Waits for every in-flight op; rethrows the first failure.
+  sim::Task<void> waitAll() {
+    while (!inflight_.empty()) co_await joinOldest();
+    if (first_error_) {
+      std::rethrow_exception(std::exchange(first_error_, nullptr));
+    }
+  }
+
+  std::size_t inFlight() const noexcept { return inflight_.size(); }
+  std::size_t depth() const noexcept { return depth_; }
+
+ private:
+  sim::Task<void> joinOldest() {
+    sim::ProcHandle h = std::move(inflight_.front());
+    inflight_.pop_front();
+    try {
+      co_await h.join();
+    } catch (...) {
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+
+  sim::Simulation* sim_;
+  std::size_t depth_;
+  std::deque<sim::ProcHandle> inflight_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace daosim::io

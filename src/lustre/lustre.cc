@@ -115,7 +115,7 @@ std::uint64_t LustreSystem::bytesStored() const {
 
 sim::Task<void> LustreVfs::mdsCall(bool mutation, obs::OpId op) {
   co_await net::request(system_->cluster(), node_, system_->mdsNode(),
-                        net::kSmallRequest, op);
+                        0, op);
   co_await system_->mdsOp(mutation, op);
   co_await net::respond(system_->cluster(), system_->mdsNode(), node_, 128,
                         op);
@@ -176,7 +176,7 @@ sim::Task<void> LustreVfs::writeStripe(std::uint64_t fid, int ost_global,
                                        vos::Payload piece, obs::OpId op) {
   LustreSystem::Ost& ost = system_->ost(ost_global);
   co_await net::request(system_->cluster(), node_, ost.node,
-                        net::kSmallRequest + piece.size(), op);
+                        piece.size(), op);
   co_await ost.cpu.exec(system_->config().ost_service_cpu, op);
   co_await ost.device->write(piece.size(), op);
   ost.store.extentWrite(kLustreCont, fidOid(fid), "", "0", offset,
@@ -191,7 +191,7 @@ sim::Task<vos::Payload> LustreVfs::readStripe(std::uint64_t fid,
                                               obs::OpId op) {
   LustreSystem::Ost& ost = system_->ost(ost_global);
   co_await net::request(system_->cluster(), node_, ost.node,
-                        net::kSmallRequest, op);
+                        0, op);
   co_await ost.cpu.exec(system_->config().ost_service_cpu, op);
   auto r = ost.store.extentRead(kLustreCont, fidOid(fid), "", "0", offset,
                                 length);
@@ -310,7 +310,7 @@ sim::Task<void> LustreVfs::fsync(posix::Fd fd) {
     ops.push_back([](LustreVfs* self, int ost) -> sim::Task<void> {
       LustreSystem::Ost& o = self->system_->ost(ost);
       co_await net::request(self->system_->cluster(), self->node_, o.node,
-                            net::kSmallRequest);
+                            0);
       co_await o.cpu.exec(self->system_->config().ost_service_cpu);
       co_await net::respond(self->system_->cluster(), o.node, self->node_, 0);
     }(this, ost));

@@ -31,12 +31,14 @@ inline constexpr std::uint64_t kSmallRequest = 384;
 inline constexpr std::uint64_t kSmallResponse = 256;
 
 /// Request leg: client -> server carrying `payload_bytes` of request body on
-/// top of the protocol header. A nonzero `op` records the transfer as a
-/// net-request leg of that op.
+/// top of the protocol header (`kSmallRequest`, added here — callers pass
+/// only the payload, symmetric with `respond`). A nonzero `op` records the
+/// transfer as a net-request leg of that op.
 inline sim::Task<void> request(hw::Cluster& cluster, hw::NodeId src,
                                hw::NodeId dst, std::uint64_t payload_bytes,
                                obs::OpId op = 0) {
-  co_await cluster.send(src, dst, payload_bytes, op, obs::Cat::kNetRequest);
+  co_await cluster.send(src, dst, payload_bytes + kSmallRequest, op,
+                        obs::Cat::kNetRequest);
 }
 
 /// Response leg: server -> client carrying `payload_bytes` of response body

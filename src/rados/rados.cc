@@ -87,7 +87,7 @@ std::uint64_t CephCluster::bytesStored() const {
 
 sim::Task<void> RadosClient::connect() {
   co_await net::request(ceph_->cluster(), node_, ceph_->monNode(),
-                        net::kSmallRequest);
+                        0);
   co_await ceph_->cluster().sim().delay(50 * sim::kMicrosecond);
   co_await net::respond(ceph_->cluster(), ceph_->monNode(), node_,
                         64 * 1024);  // cluster + PG maps
@@ -114,7 +114,7 @@ sim::Task<void> replicateToOsd(CephCluster* ceph, hw::NodeId primary_node,
                                obs::OpId op) {
   CephCluster::Osd& sec = ceph->osd(osd_id);
   co_await net::request(ceph->cluster(), primary_node, sec.node,
-                        net::kSmallRequest + object.size() + data.size(), op);
+                        object.size() + data.size(), op);
   co_await persistOnOsd(ceph, &sec, std::move(object), offset,
                         std::move(data), op);
   co_await net::respond(ceph->cluster(), sec.node, primary_node, 0, op);
@@ -132,7 +132,7 @@ sim::Task<void> RadosClient::write(std::string object, std::uint64_t offset,
   const std::vector<int> up = ceph_->upSet(ceph_->pgOf(object));
   CephCluster::Osd& primary = ceph_->osd(up.front());
   co_await net::request(ceph_->cluster(), node_, primary.node,
-                        net::kSmallRequest + object.size() + data.size(),
+                        object.size() + data.size(),
                         span.id());
   // The primary persists locally and forwards to the secondaries in
   // parallel; the client ack waits for the whole up set.
@@ -157,7 +157,7 @@ sim::Task<vos::Payload> RadosClient::read(std::string object,
                            "rados");
   CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
   co_await net::request(ceph_->cluster(), node_, osd.node,
-                        net::kSmallRequest + object.size(), span.id());
+                        object.size(), span.id());
   // The OSD op thread is held for the pipeline work (crc, copies); the
   // device read queues independently underneath.
   const sim::Time held = co_await osd.op_threads.enter(span.id());
@@ -182,7 +182,7 @@ sim::Task<vos::Payload> RadosClient::read(std::string object,
 sim::Task<std::uint64_t> RadosClient::stat(std::string object) {
   CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
   co_await net::request(ceph_->cluster(), node_, osd.node,
-                        net::kSmallRequest + object.size());
+                        object.size());
   co_await osd.op_threads.exec(ceph_->config().osd_op_cpu / 2);
   const std::uint64_t size =
       osd.store.extentEnd(kRadosPool, objectOid(object), "", "0");
@@ -193,7 +193,7 @@ sim::Task<std::uint64_t> RadosClient::stat(std::string object) {
 sim::Task<void> RadosClient::remove(std::string object) {
   CephCluster::Osd& osd = ceph_->osd(ceph_->primaryOsd(ceph_->pgOf(object)));
   co_await net::request(ceph_->cluster(), node_, osd.node,
-                        net::kSmallRequest + object.size());
+                        object.size());
   co_await osd.op_threads.exec(ceph_->config().osd_op_cpu);
   co_await osd.device->write(4096);  // deletion journal record
   osd.store.punchObject(kRadosPool, objectOid(object));

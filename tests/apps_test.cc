@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
@@ -33,11 +34,11 @@ IorConfig smallIor() {
   return cfg;
 }
 
-class IorApiTest : public ::testing::TestWithParam<IorDaos::Api> {};
+class IorApiTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(IorApiTest, RunsAndAccountsAllBytes) {
   DaosTestbed tb(smallDaos());
-  IorDaos bench(tb, GetParam(), smallIor());
+  Ior bench(tb.ioEnv(), GetParam(), smallIor());
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
 
   const std::uint64_t expected = 4ULL * 20 * 256 * kKiB;
@@ -52,25 +53,15 @@ TEST_P(IorApiTest, RunsAndAccountsAllBytes) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllApis, IorApiTest,
-    ::testing::Values(IorDaos::Api::kDaosArray, IorDaos::Api::kDfs,
-                      IorDaos::Api::kDfuse, IorDaos::Api::kDfuseIl,
-                      IorDaos::Api::kHdf5DfuseIl, IorDaos::Api::kHdf5Daos),
+    ::testing::Values("daos-array", "dfs", "dfuse", "dfuse-il", "hdf5",
+                      "hdf5-daos"),
     [](const auto& info) {
-      switch (info.param) {
-        case IorDaos::Api::kDaosArray:
-          return "libdaos";
-        case IorDaos::Api::kDfs:
-          return "libdfs";
-        case IorDaos::Api::kDfuse:
-          return "dfuse";
-        case IorDaos::Api::kDfuseIl:
-          return "dfuseIL";
-        case IorDaos::Api::kHdf5DfuseIl:
-          return "hdf5dfuse";
-        case IorDaos::Api::kHdf5Daos:
-          return "hdf5daos";
+      // Test names must be identifiers: registry names minus the dashes.
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
       }
-      return "unknown";
+      return name;
     });
 
 TEST(IorDaosTest, BandwidthGrowsWithProcessCount) {
@@ -82,7 +73,7 @@ TEST(IorDaosTest, BandwidthGrowsWithProcessCount) {
     IorConfig cfg;
     cfg.transfer = 1 * kMiB;
     cfg.ops = 200;
-    IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+    Ior bench(tb.ioEnv(), "daos-array", cfg);
     RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), ppn, bench);
     EXPECT_GT(r.write().gibps(), prev * 0.8);  // grows, then plateaus
     prev = r.write().gibps();
@@ -94,7 +85,7 @@ TEST(IorDaosTest, BandwidthGrowsWithProcessCount) {
 TEST(IorDaosTest, StoredBytesMatchWrites) {
   DaosTestbed tb(smallDaos());
   IorConfig cfg = smallIor();
-  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  Ior bench(tb.ioEnv(), "daos-array", cfg);
   const std::uint64_t before = tb.daos().bytesStored();
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(1), 2, bench);
   const std::uint64_t stored = tb.daos().bytesStored() - before;
@@ -107,7 +98,7 @@ TEST(IorDaosTest, ErasureCodedWritesCost50PercentMore) {
   IorConfig cfg = smallIor();
   cfg.transfer = 1 * kMiB;
   cfg.oclass = ObjClass::EC_2P1GX;
-  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  Ior bench(tb.ioEnv(), "daos-array", cfg);
   const std::uint64_t before = tb.daos().bytesStored();
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(1), 2, bench);
   const std::uint64_t stored = tb.daos().bytesStored() - before;
@@ -121,7 +112,7 @@ TEST(FieldIoTest, RunsWithIndexOps) {
   FieldIoConfig cfg;
   cfg.field_size = 512 * kKiB;
   cfg.fields = 15;
-  FieldIo bench(tb, cfg);
+  FieldIo bench(tb.ioEnv(), "daos-array", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
   EXPECT_EQ(r.write().bytes, 4ULL * 15 * 512 * kKiB);
   EXPECT_EQ(r.read().bytes, r.write().bytes);
@@ -136,7 +127,7 @@ TEST(FdbVsFieldIo, FdbReadsFasterThanFieldIoSizeChecks) {
     DaosTestbed tb(smallDaos());
     FieldIoConfig cfg;
     cfg.fields = 30;
-    FieldIo bench(tb, cfg);
+    FieldIo bench(tb.ioEnv(), "daos-array", cfg);
     fieldio_read =
         runSpmd(tb.sim(), tb.clientSubset(1), 1, bench).read().gibps();
   }
@@ -144,7 +135,7 @@ TEST(FdbVsFieldIo, FdbReadsFasterThanFieldIoSizeChecks) {
     DaosTestbed tb(smallDaos());
     FdbConfig cfg;
     cfg.fields = 30;
-    FdbDaos bench(tb, cfg);
+    Fdb bench(tb.ioEnv(), "daos-array", cfg);
     fdb_read = runSpmd(tb.sim(), tb.clientSubset(1), 1, bench).read().gibps();
   }
   EXPECT_GT(fdb_read, fieldio_read * 1.05);
@@ -157,7 +148,7 @@ TEST(FdbLustreTest, WriteOptimizedReadMetadataBound) {
   LustreTestbed tb(opt);
   FdbConfig cfg;
   cfg.fields = 40;
-  FdbLustre bench(tb, cfg);
+  Fdb bench(tb.ioEnv(), "lustre-posix", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
   EXPECT_EQ(r.write().bytes, 4ULL * 40 * kMiB);
   EXPECT_EQ(r.read().bytes, r.write().bytes);
@@ -172,7 +163,7 @@ TEST(FdbRadosTest, RunsOnCeph) {
   CephTestbed tb(opt);
   FdbConfig cfg;
   cfg.fields = 80;
-  FdbRados bench(tb, cfg);
+  Fdb bench(tb.ioEnv(), "rados", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 16, bench);
   EXPECT_EQ(r.write().bytes, 32ULL * 80 * kMiB);
   // At saturation, write amplification caps writes (~5.3 GiB/s on 2 nodes)
@@ -188,7 +179,7 @@ TEST(IorLustreTest, LargeIoApproachesHardware) {
   LustreTestbed tb(opt);
   IorConfig cfg;
   cfg.ops = 100;
-  IorLustre bench(tb, cfg);
+  Ior bench(tb.ioEnv(), "lustre-posix", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 32, bench);
   // 2 OSS nodes: ~7.7 GiB/s write ideal, network-bound ~12.5 read ideal.
   EXPECT_GT(r.write().gibps(), 5.5);
@@ -202,7 +193,7 @@ TEST(IorRadosTest, ObjectPerProcessUnderperforms) {
   CephTestbed tb(opt);
   IorConfig cfg;
   cfg.ops = 100;  // the paper's cap to stay within 132 MiB objects
-  IorRados bench(tb, cfg);
+  Ior bench(tb.ioEnv(), "rados", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(2), 8, bench);
   // 16 proc-objects over 32 OSDs: imbalance + BlueStore overheads keep
   // write bandwidth clearly under the 7.7 GiB/s hardware bound.
@@ -250,7 +241,7 @@ TEST(CalibrationTest, SixteenServerHeadlineNumbers) {
   DaosTestbed tb(opt);
   IorConfig cfg;
   cfg.ops = 150;
-  IorDaos bench(tb, IorDaos::Api::kDaosArray, cfg);
+  Ior bench(tb.ioEnv(), "daos-array", cfg);
   RunResult r = runSpmd(tb.sim(), tb.clientSubset(16), 16, bench);
   EXPECT_GT(r.write().gibps(), 48.0);
   EXPECT_LT(r.write().gibps(), 63.0);

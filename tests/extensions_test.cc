@@ -127,7 +127,7 @@ TEST(FdbAsyncIndex, OverlapsIndexPutsWithDataWrite) {
     apps::FdbConfig cfg;
     cfg.fields = 60;
     cfg.async_index = async;
-    apps::FdbDaos bench(tb, cfg);
+    apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
     return apps::runSpmd(tb.sim(), tb.clientSubset(1), 1, bench)
         .write()
         .gibps();

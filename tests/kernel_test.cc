@@ -229,7 +229,7 @@ apps::RunResult runPoint(int clients, int ppn, std::uint64_t seed) {
   apps::DaosTestbed tb(opt);
   apps::IorConfig cfg;
   cfg.ops = 40;
-  apps::IorDaos bench(tb, apps::IorDaos::Api::kDaosArray, cfg);
+  apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
   return apps::runSpmd(tb.sim(), tb.clientSubset(clients), ppn, bench);
 }
 

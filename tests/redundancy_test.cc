@@ -161,7 +161,7 @@ TEST(SharedFileIor, DaosArraySegmentsDoNotCollide) {
   cfg.transfer = 128 * kKiB;
   cfg.ops = 10;
   cfg.shared_file = true;
-  apps::IorDaos bench(tb, apps::IorDaos::Api::kDaosArray, cfg);
+  apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
   apps::RunResult r = apps::runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
 
   // 4 ranks x 10 ops x 128 KiB, all in ONE object: exactly that much data
@@ -183,7 +183,7 @@ TEST(SharedFileIor, DfsSharedFileHasSingleDirectoryEntry) {
   cfg.transfer = 64 * kKiB;
   cfg.ops = 8;
   cfg.shared_file = true;
-  apps::IorDaos bench(tb, apps::IorDaos::Api::kDfs, cfg);
+  apps::Ior bench(tb.ioEnv(), "dfs", cfg);
   (void)apps::runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
 
   // The namespace holds exactly one shared file.

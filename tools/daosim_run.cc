@@ -7,14 +7,17 @@
 // paper-style result line (plus an optional utilization breakdown).
 //
 // Examples:
-//   daosim_run --system daos --bench ior --api libdaos
+//   daosim_run --bench ior --api daos-array
 //              --servers 16 --clients 16 --ppn 16
-//   daosim_run --system daos --bench ior --api dfuse+il --transfer 1024
-//              --ops 2000
+//   daosim_run --bench ior --api dfuse-il --transfer 1024 --ops 2000
+//   daosim_run --bench ior --api daos-array --queue-depth 8
 //   daosim_run --system lustre --bench fdb --clients 32 --ppn 8 --stats
 //   daosim_run --system ceph --bench fdb --pgs 256
-//   daosim_run --system daos --bench ior --oclass EC_2P1GX --shared
-//   daosim_run --system daos --bench ior --trace=trace.json --metrics=m.csv
+//   daosim_run --bench ior --oclass EC_2P1GX --shared
+//   daosim_run --bench ior --trace=trace.json --metrics=m.csv
+//
+// The --api names come from the io::Backend registry (see io/backend.h);
+// --system is inferred from --api when omitted, and vice versa.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +33,7 @@
 #include "apps/stats_report.h"
 #include "apps/sweep.h"
 #include "apps/testbed.h"
+#include "io/backend.h"
 #include "obs/observer.h"
 #include "sim/parallel.h"
 
@@ -38,9 +42,9 @@ namespace {
 using namespace daosim;
 
 struct Options {
-  std::string system = "daos";
+  std::string system;  // empty = inferred from --api (default: daos)
   std::string bench = "ior";
-  std::string api = "libdaos";
+  std::string api;  // empty = the system's default backend
   std::string oclass = "SX";
   int servers = 16;
   int clients = 16;
@@ -52,6 +56,7 @@ struct Options {
   std::uint64_t seed = 1;
   int pgs = 1024;
   int replicas = 1;
+  int queue_depth = 1;
   bool shared = false;
   bool async_index = false;
   bool stats = false;
@@ -60,15 +65,24 @@ struct Options {
 };
 
 [[noreturn]] void usage(const char* argv0) {
+  std::string apis;
+  for (const std::string& name : io::backendNames()) {
+    if (!apis.empty()) apis += '|';
+    apis += name;
+  }
   std::fprintf(
       stderr,
       "usage: %s [--system daos|lustre|ceph] [--bench ior|fieldio|fdb]\n"
-      "          [--api libdaos|dfs|dfuse|dfuse+il|hdf5-dfuse|hdf5-daos]\n"
+      "          [--api %s]\n"
       "          [--servers N] [--clients N] [--ppn N] [--ops N]\n"
       "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
       "          [--reps N] [--jobs N] [--seed N] [--pgs N] [--replicas N]\n"
-      "          [--shared] [--async-index] [--stats]\n"
+      "          [--queue-depth N] [--shared] [--async-index] [--stats]\n"
       "          [--trace FILE] [--metrics FILE]\n"
+      "Backends: --api picks an io::Backend by registry name; --system is\n"
+      "inferred from it (and vice versa: --system alone picks that system's\n"
+      "default backend). --queue-depth N keeps up to N IOR transfers in\n"
+      "flight per process (1 = sequential issue, the paper's setup).\n"
       "Parallelism: --jobs (or DAOSIM_JOBS) runs repetitions concurrently\n"
       "on a worker pool; results are identical to --jobs 1 for a fixed\n"
       "--seed because every repetition is a self-contained simulation.\n"
@@ -76,8 +90,43 @@ struct Options {
       "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
       "file ends in .json) of op latency histograms, both for the last\n"
       "repetition. DAOSIM_TRACE / DAOSIM_METRICS env vars are fallbacks.\n",
-      argv0);
+      argv0, apis.c_str());
   std::exit(2);
+}
+
+const char* systemName(io::System s) {
+  switch (s) {
+    case io::System::kDaos: return "daos";
+    case io::System::kLustre: return "lustre";
+    case io::System::kCeph: return "ceph";
+  }
+  return "?";
+}
+
+/// Fills in whichever of --api / --system the user omitted and checks that
+/// the pair is consistent (e.g. rejects `--system lustre --api dfs`).
+void resolveApiAndSystem(Options& o) {
+  if (o.api.empty()) {
+    if (o.system.empty() || o.system == "daos") {
+      o.system = "daos";
+      o.api = "daos-array";
+    } else if (o.system == "lustre") {
+      o.api = "lustre-posix";
+    } else if (o.system == "ceph") {
+      o.api = "rados";
+    } else {
+      throw std::invalid_argument("unknown --system: " + o.system);
+    }
+    return;
+  }
+  o.api = io::canonicalName(o.api);  // throws on unknown names
+  const char* inferred = systemName(io::backendSystem(o.api));
+  if (o.system.empty()) {
+    o.system = inferred;
+  } else if (o.system != inferred) {
+    throw std::invalid_argument("--api " + o.api + " runs on --system " +
+                                inferred + ", not " + o.system);
+  }
 }
 
 Options parse(int argc, char** argv) {
@@ -128,6 +177,8 @@ Options parse(int argc, char** argv) {
       o.pgs = std::atoi(value());
     } else if (arg == "--replicas") {
       o.replicas = std::atoi(value());
+    } else if (arg == "--queue-depth") {
+      o.queue_depth = std::atoi(value());
     } else if (arg == "--shared") {
       o.shared = true;
     } else if (arg == "--async-index") {
@@ -143,9 +194,11 @@ Options parse(int argc, char** argv) {
       usage(argv[0]);
     }
   }
-  if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0) {
+  if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0 ||
+      o.queue_depth <= 0) {
     usage(argv[0]);
   }
+  resolveApiAndSystem(o);
   if (o.trace_file.empty()) {
     if (const char* v = std::getenv("DAOSIM_TRACE")) o.trace_file = v;
   }
@@ -160,50 +213,53 @@ std::uint64_t opCount(const Options& o) {
   return apps::scaledOps(o.clients * o.ppn, 1000, 40000);
 }
 
-apps::IorDaos::Api parseApi(const std::string& api) {
-  if (api == "libdaos") return apps::IorDaos::Api::kDaosArray;
-  if (api == "dfs") return apps::IorDaos::Api::kDfs;
-  if (api == "dfuse") return apps::IorDaos::Api::kDfuse;
-  if (api == "dfuse+il") return apps::IorDaos::Api::kDfuseIl;
-  if (api == "hdf5-dfuse") return apps::IorDaos::Api::kHdf5DfuseIl;
-  if (api == "hdf5-daos") return apps::IorDaos::Api::kHdf5Daos;
-  throw std::invalid_argument("unknown --api: " + api);
+apps::IorConfig iorConfig(const Options& o) {
+  apps::IorConfig cfg;
+  cfg.transfer = o.transfer;
+  // librados: the paper caps runs to stay within 132 MiB objects.
+  if (o.system == "ceph") {
+    cfg.ops = o.ops > 0 ? o.ops : 100;
+  } else {
+    cfg.ops = opCount(o);
+  }
+  cfg.oclass = placement::classFromName(o.oclass);
+  cfg.shared_file = o.shared;
+  cfg.queue_depth = o.queue_depth;
+  return cfg;
 }
 
-apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
-                        obs::Observer* observer) {
-  apps::DaosTestbed::Options opt;
-  opt.server_nodes = o.servers;
-  opt.client_nodes = o.clients;
-  opt.seed = seed;
-  apps::DaosTestbed tb(opt);
+apps::FdbConfig fdbConfig(const Options& o) {
+  apps::FdbConfig cfg;
+  cfg.field_size = o.transfer;
+  cfg.fields = opCount(o);
+  cfg.async_index = o.async_index;
+  cfg.array_oclass =
+      placement::classFromName(o.oclass) == placement::ObjClass::SX
+          ? placement::ObjClass::S1
+          : placement::classFromName(o.oclass);
+  return cfg;
+}
+
+/// Runs the selected benchmark against the named backend on a deployed
+/// testbed; shared across the three systems now that the benchmarks are
+/// backend-neutral.
+template <typename Testbed>
+apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
+                         obs::Observer* observer) {
   const sim::Time t0 = tb.sim().now();
   if (observer != nullptr) observer->attach(tb.sim());
   apps::RunResult r;
   if (o.bench == "ior") {
-    apps::IorConfig cfg;
-    cfg.transfer = o.transfer;
-    cfg.ops = opCount(o);
-    cfg.oclass = placement::classFromName(o.oclass);
-    cfg.shared_file = o.shared;
-    apps::IorDaos bench(tb, parseApi(o.api), cfg);
+    apps::Ior bench(tb.ioEnv(), o.api, iorConfig(o));
     r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
   } else if (o.bench == "fieldio") {
     apps::FieldIoConfig cfg;
     cfg.field_size = o.transfer;
     cfg.fields = opCount(o);
-    apps::FieldIo bench(tb, cfg);
+    apps::FieldIo bench(tb.ioEnv(), o.api, cfg);
     r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
   } else if (o.bench == "fdb") {
-    apps::FdbConfig cfg;
-    cfg.field_size = o.transfer;
-    cfg.fields = opCount(o);
-    cfg.async_index = o.async_index;
-    cfg.array_oclass = placement::classFromName(o.oclass) ==
-                               placement::ObjClass::SX
-                           ? placement::ObjClass::S1
-                           : placement::classFromName(o.oclass);
-    apps::FdbDaos bench(tb, cfg);
+    apps::Fdb bench(tb.ioEnv(), o.api, fdbConfig(o));
     r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
   } else {
     throw std::invalid_argument("unknown --bench: " + o.bench);
@@ -216,6 +272,16 @@ apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
   return r;
 }
 
+apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
+                        obs::Observer* observer) {
+  apps::DaosTestbed::Options opt;
+  opt.server_nodes = o.servers;
+  opt.client_nodes = o.clients;
+  opt.seed = seed;
+  apps::DaosTestbed tb(opt);
+  return runBench(o, tb, stats, observer);
+}
+
 apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats,
                           obs::Observer* observer) {
   apps::LustreTestbed::Options opt;
@@ -223,30 +289,7 @@ apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats,
   opt.client_nodes = o.clients;
   opt.seed = seed;
   apps::LustreTestbed tb(opt);
-  const sim::Time t0 = tb.sim().now();
-  if (observer != nullptr) observer->attach(tb.sim());
-  apps::RunResult r;
-  if (o.bench == "ior") {
-    apps::IorConfig cfg;
-    cfg.transfer = o.transfer;
-    cfg.ops = opCount(o);
-    apps::IorLustre bench(tb, cfg);
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
-  } else if (o.bench == "fdb") {
-    apps::FdbConfig cfg;
-    cfg.field_size = o.transfer;
-    cfg.fields = opCount(o);
-    apps::FdbLustre bench(tb, cfg);
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
-  } else {
-    throw std::invalid_argument("--system lustre supports ior|fdb");
-  }
-  if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
-  if (observer != nullptr) {
-    if (stats) observer->writeBreakdown(std::cout);
-    observer->detach();  // tb's simulation dies with this scope
-  }
-  return r;
+  return runBench(o, tb, stats, observer);
 }
 
 apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
@@ -258,30 +301,7 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
   opt.ceph.pg_count = o.pgs;
   opt.ceph.replica_count = o.replicas;
   apps::CephTestbed tb(opt);
-  const sim::Time t0 = tb.sim().now();
-  if (observer != nullptr) observer->attach(tb.sim());
-  apps::RunResult r;
-  if (o.bench == "ior") {
-    apps::IorConfig cfg;
-    cfg.transfer = o.transfer;
-    cfg.ops = o.ops > 0 ? o.ops : 100;  // the paper's 132 MiB-object cap
-    apps::IorRados bench(tb, cfg);
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
-  } else if (o.bench == "fdb") {
-    apps::FdbConfig cfg;
-    cfg.field_size = o.transfer;
-    cfg.fields = opCount(o);
-    apps::FdbRados bench(tb, cfg);
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
-  } else {
-    throw std::invalid_argument("--system ceph supports ior|fdb");
-  }
-  if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
-  if (observer != nullptr) {
-    if (stats) observer->writeBreakdown(std::cout);
-    observer->detach();  // tb's simulation dies with this scope
-  }
-  return r;
+  return runBench(o, tb, stats, observer);
 }
 
 }  // namespace
