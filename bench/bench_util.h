@@ -34,6 +34,7 @@
 
 #include "apps/runner.h"
 #include "apps/sweep.h"
+#include "apps/telemetry_probes.h"
 #include "sim/parallel.h"
 
 namespace daosim::bench {
@@ -171,6 +172,11 @@ inline int benchMain(int argc, char** argv, const char* figure_title,
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // DAOSIM_TELEMETRY: every run registered a labelled registry with
+  // TelemetryHub::global(); write the merged dump now that the pool has
+  // drained. Labels encode (series, point, seed), so the file is identical
+  // for serial and DAOSIM_JOBS>1 sweeps.
+  apps::flushTelemetryEnv();
   std::cerr << "\n#### " << figure_title << " ####\n";
   std::lock_guard<std::mutex> lock(seriesMutex());
   for (const auto& s : allSeries()) {

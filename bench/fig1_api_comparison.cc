@@ -6,6 +6,7 @@
 // at saturation (ideals 61.76 and 100); libdaos is ahead at low process
 // counts; 16 client nodes suffice.
 #include "apps/ior.h"
+#include "apps/telemetry_probes.h"
 #include "apps/testbed.h"
 #include "bench_util.h"
 
@@ -24,6 +25,11 @@ apps::RunResult runPoint(std::string api, SweepPoint pt,
   opt.seed = seed;
   opt.with_dfuse = api != "daos-array";
   DaosTestbed tb(opt);
+  apps::ScopedRunTelemetry telem(
+      tb.sim(), "ior-" + api + "/c" + std::to_string(pt.client_nodes) + "/n" +
+                    std::to_string(pt.procs_per_node) + "/rep/" +
+                    std::to_string(seed));
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
 
   IorConfig cfg;
   cfg.ops = apps::scaledOps(pt.totalProcs(), apps::envOps(1000));

@@ -5,6 +5,7 @@
 // noticeable" at this I/O size — DFUSE pays two kernel crossings and a FUSE
 // thread per op; the IL forwards read/write straight to libdfs.
 #include "apps/ior.h"
+#include "apps/telemetry_probes.h"
 #include "apps/testbed.h"
 #include "bench_util.h"
 
@@ -22,6 +23,11 @@ apps::RunResult runPoint(std::string api, SweepPoint pt,
   opt.client_nodes = pt.client_nodes;
   opt.seed = seed;
   DaosTestbed tb(opt);
+  apps::ScopedRunTelemetry telem(
+      tb.sim(), "ior-" + api + "-1KiB/c" + std::to_string(pt.client_nodes) +
+                    "/n" + std::to_string(pt.procs_per_node) + "/rep/" +
+                    std::to_string(seed));
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
 
   IorConfig cfg;
   cfg.transfer = 1024;  // 1 KiB

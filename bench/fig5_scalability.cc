@@ -9,6 +9,7 @@
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
+#include "apps/telemetry_probes.h"
 #include "apps/testbed.h"
 #include "bench_util.h"
 
@@ -20,6 +21,13 @@ using apps::SweepPoint;
 
 constexpr int kClients = 16;
 constexpr int kPpn = 16;
+
+// Run label for DAOSIM_TELEMETRY dumps ("s" = server count on this figure).
+std::string runLabel(const std::string& series, SweepPoint pt,
+                     std::uint64_t seed) {
+  return series + "/s" + std::to_string(pt.client_nodes) + "/rep/" +
+         std::to_string(seed);
+}
 
 DaosTestbed makeTestbed(int servers, std::uint64_t seed, bool with_dfuse) {
   DaosTestbed::Options opt;
@@ -34,6 +42,9 @@ DaosTestbed makeTestbed(int servers, std::uint64_t seed, bool with_dfuse) {
 apps::RunResult runIor(std::string api, SweepPoint pt,
                        std::uint64_t seed) {
   DaosTestbed tb = makeTestbed(pt.client_nodes, seed, api != "daos-array");
+  apps::ScopedRunTelemetry telem(tb.sim(),
+                                 runLabel("ior-" + api, pt, seed));
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
   apps::IorConfig cfg;
   const bool hdf5 = api == "hdf5" || api == "hdf5-daos";
   cfg.ops = apps::scaledOps(kClients * kPpn, apps::envOps(1000),
@@ -44,6 +55,8 @@ apps::RunResult runIor(std::string api, SweepPoint pt,
 
 apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
   DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
+  apps::ScopedRunTelemetry telem(tb.sim(), runLabel("fieldio", pt, seed));
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
   apps::FieldIoConfig cfg;
   cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
   apps::FieldIo bench(tb.ioEnv(), "daos-array", cfg);
@@ -52,6 +65,9 @@ apps::RunResult runFieldIo(SweepPoint pt, std::uint64_t seed) {
 
 apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
   DaosTestbed tb = makeTestbed(pt.client_nodes, seed, false);
+  apps::ScopedRunTelemetry telem(tb.sim(),
+                                 runLabel("fdb-hammer-daos", pt, seed));
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
   apps::FdbConfig cfg;
   cfg.fields = apps::scaledOps(kClients * kPpn, apps::envOps(1000), 20000);
   apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);

@@ -1,0 +1,228 @@
+#include "apps/telemetry_probes.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "daos/engine.h"
+#include "daos/pool_service.h"
+#include "daos/system.h"
+#include "hw/cluster.h"
+#include "hw/device.h"
+#include "lustre/lustre.h"
+#include "rados/rados.h"
+#include "sim/queue_station.h"
+#include "vos/target_store.h"
+
+namespace daosim::apps {
+
+namespace {
+
+using obs::Telemetry;
+using Kind = obs::Telemetry::Kind;
+
+/// busy_frac: cumulative busy seconds under kRate == per-bin utilization.
+/// `servers` > 1 normalizes a pooled station to per-thread utilization.
+void stationProbes(Telemetry& t, const std::string& prefix,
+                   const sim::QueueStation& st, int servers = 1) {
+  t.addProbe(prefix + "/busy_frac", Kind::kRate,
+             [&st, servers] {
+               return sim::toSeconds(st.busyTime()) / servers;
+             });
+  t.addProbe(prefix + "/queue_len", Kind::kGauge,
+             [&st] { return static_cast<double>(st.queueLength()); });
+}
+
+void nicProbes(Telemetry& t, const std::string& prefix, hw::Node& node) {
+  for (const char* dir : {"tx", "rx"}) {
+    sim::QueueStation& st = dir[0] == 't' ? node.tx() : node.rx();
+    const std::string p = prefix + "/nic/" + dir;
+    t.addProbe(p + "/busy_frac", Kind::kRate,
+               [&st] { return sim::toSeconds(st.busyTime()); });
+    t.addProbe(p + "/bytes_per_s", Kind::kRate,
+               [&st] { return static_cast<double>(st.bytes()); });
+  }
+}
+
+void deviceProbes(Telemetry& t, const std::string& prefix,
+                  const hw::NvmeDevice& dev) {
+  t.addProbe(prefix + "/busy_frac", Kind::kRate,
+             [&dev] { return sim::toSeconds(dev.busyTime()); });
+  t.addProbe(prefix + "/queue_depth", Kind::kGauge,
+             [&dev] { return static_cast<double>(dev.queueDepth()); });
+  t.addProbe(prefix + "/bytes_per_s", Kind::kRate, [&dev] {
+    return static_cast<double>(dev.bytesWritten() + dev.bytesRead());
+  });
+}
+
+void vosProbes(Telemetry& t, const std::string& prefix,
+               const vos::TargetStore& store) {
+  t.addProbe(prefix + "/ops_per_s", Kind::kRate,
+             [&store] { return static_cast<double>(store.recordOps()); });
+}
+
+void netProbes(Telemetry& t, hw::Cluster& cluster) {
+  t.addProbe("net/inflight", Kind::kGauge, [&cluster] {
+    return static_cast<double>(cluster.inflightSends());
+  });
+  t.addProbe("net/msgs_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.messages());
+  });
+  t.addProbe("net/bytes_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.bytesSent());
+  });
+  // Time-integral of in-flight messages: per-bin value is the mean number
+  // of concurrent sends (Little's law), a direct read on per-leg latency
+  // pressure.
+  t.addProbe("net/inflight_avg", Kind::kRate, [&cluster] {
+    return sim::toSeconds(cluster.totalSendTime());
+  });
+  t.addProbe("net/rpc_req_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.rpcRequests());
+  });
+  t.addProbe("net/rpc_resp_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.rpcResponses());
+  });
+}
+
+void clientNicProbes(Telemetry& t, hw::Cluster& cluster,
+                     const std::vector<hw::NodeId>& clients) {
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    nicProbes(t, "client/" + std::to_string(i), cluster.node(clients[i]));
+  }
+}
+
+}  // namespace
+
+void registerProbes(obs::Telemetry& t, DaosTestbed& tb) {
+  daos::DaosSystem& sys = tb.daos();
+  for (int e = 0; e < sys.engineCount(); ++e) {
+    daos::Engine& engine = sys.engine(e);
+    const std::string sp = "server/" + std::to_string(e);
+    nicProbes(t, sp, tb.cluster().node(engine.node()));
+    for (int tg = 0; tg < engine.targetCount(); ++tg) {
+      daos::Target& target = engine.target(tg);
+      const std::string tp = sp + "/target/" + std::to_string(tg);
+      deviceProbes(t, tp + "/nvme", target.device());
+      stationProbes(t, tp + "/xs", target.xstream());
+      vosProbes(t, tp + "/vos", target.store());
+    }
+  }
+  {
+    const sim::QueueStation& ps = sys.poolService().station();
+    t.addProbe("server/ps/busy_frac", Kind::kRate,
+               [&ps] { return sim::toSeconds(ps.busyTime()); });
+  }
+  clientNicProbes(t, tb.cluster(), tb.clients());
+  std::unordered_map<hw::NodeId, std::size_t> client_index;
+  for (std::size_t i = 0; i < tb.clients().size(); ++i) {
+    client_index[tb.clients()[i]] = i;
+  }
+  for (const auto& [node, daemon] : tb.daemons()) {
+    const auto it = client_index.find(node);
+    if (it == client_index.end()) continue;
+    const std::string dp = "client/" + std::to_string(it->second) + "/dfuse";
+    stationProbes(t, dp, daemon->threads(), daemon->config().fuse_threads);
+    posix::DfuseDaemon* d = daemon.get();
+    t.addProbe(dp + "/cache_hit_frac", Kind::kGauge, [d] {
+      const std::uint64_t lookups = d->cacheLookups();
+      return lookups ? static_cast<double>(d->cacheHits()) /
+                           static_cast<double>(lookups)
+                     : 0.0;
+    });
+  }
+  netProbes(t, tb.cluster());
+}
+
+void registerProbes(obs::Telemetry& t, LustreTestbed& tb) {
+  lustre::LustreSystem& sys = tb.lustre();
+  for (int i = 0; i < sys.ostCount(); ++i) {
+    const std::string op = "ost/" + std::to_string(i);
+    deviceProbes(t, op + "/nvme", *sys.ost(i).device);
+    stationProbes(t, op + "/cpu", sys.ost(i).cpu);
+    vosProbes(t, op + "/vos", sys.ost(i).store);
+  }
+  stationProbes(t, "mds", sys.mdsStation(), sys.config().mds_threads);
+  clientNicProbes(t, tb.cluster(), tb.clients());
+  netProbes(t, tb.cluster());
+}
+
+void registerProbes(obs::Telemetry& t, CephTestbed& tb) {
+  rados::CephCluster& sys = tb.ceph();
+  for (int i = 0; i < sys.osdCount(); ++i) {
+    const std::string op = "osd/" + std::to_string(i);
+    deviceProbes(t, op + "/nvme", *sys.osd(i).device);
+    stationProbes(t, op + "/threads", sys.osd(i).op_threads,
+                  sys.config().osd_op_threads);
+    vosProbes(t, op + "/vos", sys.osd(i).store);
+  }
+  clientNicProbes(t, tb.cluster(), tb.clients());
+  netProbes(t, tb.cluster());
+}
+
+sim::Time parseDuration(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("empty duration");
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad duration: " + s);
+  }
+  const std::string unit = s.substr(pos);
+  double scale = 1;  // bare number = nanoseconds
+  if (unit == "s") {
+    scale = 1e9;
+  } else if (unit == "ms") {
+    scale = 1e6;
+  } else if (unit == "us") {
+    scale = 1e3;
+  } else if (!unit.empty() && unit != "ns") {
+    throw std::invalid_argument("bad duration unit in: " + s);
+  }
+  const double ns = v * scale;
+  if (!(ns >= 1)) {
+    throw std::invalid_argument("duration must be >= 1ns: " + s);
+  }
+  return static_cast<sim::Time>(ns);
+}
+
+std::string telemetryEnvFile() {
+  const char* v = std::getenv("DAOSIM_TELEMETRY");
+  return v ? std::string(v) : std::string();
+}
+
+sim::Time telemetryEnvInterval() {
+  const char* v = std::getenv("DAOSIM_TELEMETRY_INTERVAL");
+  return v ? parseDuration(v) : 10 * sim::kMillisecond;
+}
+
+void flushTelemetryEnv() {
+  const std::string path = telemetryEnvFile();
+  obs::TelemetryHub& hub = obs::TelemetryHub::global();
+  if (path.empty() || hub.empty()) return;
+  std::ofstream os(path);
+  if (!os) return;
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".json") == 0) {
+    hub.writeJson(os);
+  } else {
+    hub.writeCsv(os);
+  }
+}
+
+ScopedRunTelemetry::ScopedRunTelemetry(sim::Simulation& sim, std::string label,
+                                       bool enabled, sim::Time interval)
+    : label_(std::move(label)) {
+  if (!enabled) return;
+  t_.emplace(interval > 0 ? interval : telemetryEnvInterval());
+  t_->attach(sim);
+}
+
+ScopedRunTelemetry::~ScopedRunTelemetry() {
+  if (!t_.has_value()) return;
+  t_->detach();
+  obs::TelemetryHub::global().add(label_, std::move(*t_));
+}
+
+}  // namespace daosim::apps

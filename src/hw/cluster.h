@@ -105,15 +105,20 @@ class Cluster {
                        obs::OpId op = 0, obs::Cat cat = obs::Cat::kOther) {
     messages_ += 1;
     bytes_sent_ += bytes;
+    if (cat == obs::Cat::kNetRequest) ++rpc_requests_;
+    if (cat == obs::Cat::kNetResponse) ++rpc_responses_;
+    ++inflight_sends_;
     const sim::Time started = sim_->now();
     if (src == dst) {
       co_await sim_->delay(2 * sim::kMicrosecond);  // loopback hop
-      recordNetLeg(src, op, cat, started);
+      finishSend(src, op, cat, started);
       co_return;
     }
     const std::uint64_t wire = bytes + fabric_.header_bytes;
     Node& s = node(src);
     Node& d = node(dst);
+    s.tx().noteBytes(wire);
+    d.rx().noteBytes(wire);
     const sim::Time tx_time =
         s.spec().nic.per_message + transferTime(wire, s.spec().nic.gibps);
     const sim::Time rx_time =
@@ -126,15 +131,26 @@ class Cluster {
     auto delivery = sim_->spawn(receive(*sim_, d.rx(), fabric_.latency, rx_time));
     co_await s.tx().exec(tx_time);
     co_await delivery.join();
-    recordNetLeg(src, op, cat, started);
+    finishSend(src, op, cat, started);
   }
 
   std::uint64_t messages() const noexcept { return messages_; }
   std::uint64_t bytesSent() const noexcept { return bytes_sent_; }
 
+  // --- telemetry feed (see obs/telemetry.h) ---------------------------
+  /// Messages currently between send() entry and delivery.
+  std::uint64_t inflightSends() const noexcept { return inflight_sends_; }
+  /// Cumulative wall time of completed sends (per-leg latency: divide the
+  /// per-bin delta by the message-rate delta).
+  sim::Time totalSendTime() const noexcept { return send_ns_; }
+  /// RPC legs by direction (net::request / net::respond pass the category).
+  std::uint64_t rpcRequests() const noexcept { return rpc_requests_; }
+  std::uint64_t rpcResponses() const noexcept { return rpc_responses_; }
+
  private:
-  void recordNetLeg(NodeId src, obs::OpId op, obs::Cat cat,
-                    sim::Time started) {
+  void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started) {
+    --inflight_sends_;
+    send_ns_ += sim_->now() - started;
     if (op == 0) return;
     if (obs::Observer* o = sim_->observer()) {
       o->leg(op, cat, o->track(src, "net"), "send", started);
@@ -146,6 +162,10 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t inflight_sends_ = 0;
+  sim::Time send_ns_ = 0;
+  std::uint64_t rpc_requests_ = 0;
+  std::uint64_t rpc_responses_ = 0;
 };
 
 }  // namespace daosim::hw

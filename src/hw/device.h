@@ -72,6 +72,9 @@ class NvmeDevice {
   std::uint64_t bytesRead() const noexcept { return bytes_read_; }
   std::uint64_t writeOps() const noexcept { return write_ops_; }
   std::uint64_t readOps() const noexcept { return read_ops_; }
+  /// I/Os admitted but not yet acknowledged (the device queue depth a
+  /// telemetry gauge samples).
+  std::uint32_t queueDepth() const noexcept { return inflight_; }
   /// Total device-time consumed on the sustained-rate clock.
   sim::Time busyTime() const noexcept { return busy_; }
   double utilization(sim::Time horizon) const noexcept {
@@ -89,6 +92,7 @@ class NvmeDevice {
     const sim::Time now = sim_->now();
     virtual_end_ = std::max(virtual_end_, now) + service;
     busy_ += service;
+    ++inflight_;
     // Ack when the burst transfer completes AND the backlog fits the
     // absorption window; the two overlap (cache fill proceeds while the
     // medium drains), so the wait is the max, not the sum.
@@ -97,6 +101,7 @@ class NvmeDevice {
       wait = std::max(wait, virtual_end_ - now - spec_.backlog_window);
     }
     co_await sim_->delay(wait);
+    --inflight_;
     if (op != 0) {
       if (obs::Observer* o = sim_->observer()) {
         if (track_epoch_ != o->epoch()) {
@@ -117,6 +122,7 @@ class NvmeDevice {
   std::string name_;
   sim::Time virtual_end_ = 0;
   sim::Time busy_ = 0;
+  std::uint32_t inflight_ = 0;
   int trace_pid_ = 0;
   obs::TrackId track_ = 0;
   std::uint64_t track_epoch_ = 0;

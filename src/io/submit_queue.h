@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <utility>
 
+#include "obs/telemetry.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 
@@ -31,6 +33,7 @@ class SubmitQueue {
   /// Spawns `op` immediately, regardless of depth.
   void launch(sim::Task<void> op) {
     inflight_.push_back(sim_->spawn(std::move(op)));
+    noteSpawn();
   }
 
   /// Spawns `op`, first waiting for the oldest in-flight op to complete
@@ -40,6 +43,7 @@ class SubmitQueue {
       co_await joinOldest();
     }
     inflight_.push_back(sim_->spawn(std::move(op)));
+    noteSpawn();
   }
 
   /// Waits for every in-flight op; rethrows the first failure.
@@ -57,6 +61,7 @@ class SubmitQueue {
   sim::Task<void> joinOldest() {
     sim::ProcHandle h = std::move(inflight_.front());
     inflight_.pop_front();
+    noteJoin();
     try {
       co_await h.join();
     } catch (...) {
@@ -64,10 +69,36 @@ class SubmitQueue {
     }
   }
 
+  /// Telemetry push site: with no registry attached this is one pointer
+  /// load and a branch; handles are re-resolved when a new registry epoch
+  /// appears (fresh rep) and summed across every queue in the run.
+  void noteSpawn() {
+    obs::Telemetry* t = sim_->telemetry();
+    if (t == nullptr) [[likely]] return;
+    if (tq_epoch_ != t->epoch()) {
+      tq_epoch_ = t->epoch();
+      tq_inflight_ = t->gauge("client/submitq/inflight");
+      tq_ops_ = t->rate("client/submitq/ops");
+    }
+    tq_inflight_.add(1.0);
+    tq_ops_.inc();
+  }
+
+  /// Only touches the cached handle while the registry that issued it is
+  /// still attached (a stale epoch means the nodes may be gone).
+  void noteJoin() {
+    obs::Telemetry* t = sim_->telemetry();
+    if (t == nullptr || tq_epoch_ != t->epoch()) return;
+    tq_inflight_.add(-1.0);
+  }
+
   sim::Simulation* sim_;
   std::size_t depth_;
   std::deque<sim::ProcHandle> inflight_;
   std::exception_ptr first_error_;
+  obs::Telemetry::Handle tq_inflight_;
+  obs::Telemetry::Handle tq_ops_;
+  std::uint64_t tq_epoch_ = 0;
 };
 
 }  // namespace daosim::io

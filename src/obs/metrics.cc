@@ -1,19 +1,63 @@
 #include "obs/metrics.h"
 
-#include <iomanip>
+#include <cstdio>
 
 namespace daosim::obs {
+
+std::string csvField(const std::string& s) {
+  bool needs_quote = false;
+  for (char c : s) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return s;
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 namespace {
 
 void histRows(std::ostream& os, const std::string& name, const Histogram& h) {
-  os << "histogram," << name << ",count," << h.count() << "\n";
-  os << "histogram," << name << ",min," << h.min() << "\n";
-  os << "histogram," << name << ",max," << h.max() << "\n";
-  os << "histogram," << name << ",mean," << h.mean() << "\n";
-  os << "histogram," << name << ",p50," << h.percentile(50) << "\n";
-  os << "histogram," << name << ",p95," << h.percentile(95) << "\n";
-  os << "histogram," << name << ",p99," << h.percentile(99) << "\n";
+  const std::string n = csvField(name);
+  os << "histogram," << n << ",count," << h.count() << "\n";
+  os << "histogram," << n << ",min," << h.min() << "\n";
+  os << "histogram," << n << ",max," << h.max() << "\n";
+  os << "histogram," << n << ",mean," << h.mean() << "\n";
+  os << "histogram," << n << ",p50," << h.percentile(50) << "\n";
+  os << "histogram," << n << ",p95," << h.percentile(95) << "\n";
+  os << "histogram," << n << ",p99," << h.percentile(99) << "\n";
 }
 
 void histJson(std::ostream& os, const Histogram& h) {
@@ -25,40 +69,56 @@ void histJson(std::ostream& os, const Histogram& h) {
 
 }  // namespace
 
-void MetricsRegistry::writeCsv(std::ostream& os) const {
-  os << "# daosim-metrics schema=" << kMetricsSchemaVersion << "\n";
-  os << "kind,name,field,value\n";
+void MetricsRegistry::writeCsvRows(std::ostream& os) const {
   for (const auto& [name, c] : counters_) {
-    os << "counter," << name << ",value," << c.value() << "\n";
+    os << "counter," << csvField(name) << ",value," << c.value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
-    os << "gauge," << name << ",value," << g.value() << "\n";
+    os << "gauge," << csvField(name) << ",value," << g.value() << "\n";
   }
   for (const auto& [name, h] : histograms_) histRows(os, name, h);
 }
 
-void MetricsRegistry::writeJson(std::ostream& os) const {
-  os << "{\n  \"schema\": " << kMetricsSchemaVersion << ",\n";
-  os << "  \"counters\": {";
+void MetricsRegistry::writeCsv(std::ostream& os) const {
+  os << "# daosim-metrics schema=" << kMetricsSchemaVersion << "\n";
+  os << "kind,name,field,value\n";
+  writeCsvRows(os);
+}
+
+void MetricsRegistry::writeJsonFields(std::ostream& os,
+                                      const char* indent) const {
+  os << indent << "\"counters\": {";
   bool first = true;
   for (const auto& [name, c] : counters_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": " << c.value();
+    os << (first ? "" : ",") << "\n" << indent << "  \"" << jsonEscape(name)
+       << "\": " << c.value();
     first = false;
   }
-  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  if (!first) os << "\n" << indent;
+  os << "},\n" << indent << "\"gauges\": {";
   first = true;
   for (const auto& [name, g] : gauges_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": " << g.value();
+    os << (first ? "" : ",") << "\n" << indent << "  \"" << jsonEscape(name)
+       << "\": " << g.value();
     first = false;
   }
-  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  if (!first) os << "\n" << indent;
+  os << "},\n" << indent << "\"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
-    os << (first ? "" : ",") << "\n    \"" << name << "\": ";
+    os << (first ? "" : ",") << "\n" << indent << "  \"" << jsonEscape(name)
+       << "\": ";
     histJson(os, h);
     first = false;
   }
-  os << (first ? "" : "\n  ") << "}\n}\n";
+  if (!first) os << "\n" << indent;
+  os << "}";
+}
+
+void MetricsRegistry::writeJson(std::ostream& os) const {
+  os << "{\n  \"schema\": " << kMetricsSchemaVersion << ",\n";
+  writeJsonFields(os, "  ");
+  os << "\n}\n";
 }
 
 }  // namespace daosim::obs

@@ -17,7 +17,18 @@
 namespace daosim::obs {
 
 /// Version stamped into every metrics dump (first CSV line / JSON field).
-inline constexpr int kMetricsSchemaVersion = 1;
+/// v2: metric names are CSV/JSON-escaped, and dumps may carry a telemetry
+/// time-series section (`series,name,t_ns,value` rows — see obs/telemetry.h).
+inline constexpr int kMetricsSchemaVersion = 2;
+
+/// RFC-4180 field quoting: names containing commas, quotes or newlines are
+/// wrapped in double quotes (embedded quotes doubled); everything else is
+/// returned verbatim.
+std::string csvField(const std::string& s);
+
+/// JSON string-body escaping (quotes, backslashes, control characters); the
+/// caller supplies the surrounding quotes.
+std::string jsonEscape(const std::string& s);
 
 class Counter {
  public:
@@ -60,6 +71,14 @@ class MetricsRegistry {
 
   /// JSON dump with a top-level `"schema"` field.
   void writeJson(std::ostream& os) const;
+
+  /// The `kind,name,field,value` rows alone (no header) — used to splice
+  /// registry contents into a telemetry dump.
+  void writeCsvRows(std::ostream& os) const;
+
+  /// The `"counters": ... , "gauges": ..., "histograms": ...` JSON fields
+  /// alone (no braces, no schema) at the given indent.
+  void writeJsonFields(std::ostream& os, const char* indent) const;
 
  private:
   std::map<std::string, Counter> counters_;

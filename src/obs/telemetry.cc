@@ -1,0 +1,270 @@
+#include "obs/telemetry.h"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "sim/simulation.h"
+
+namespace daosim::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_telemetry_epoch{1};
+
+/// Deterministic double formatting for dumps: 15 significant digits keeps
+/// every value we emit (ns-derived seconds, byte totals, fractions)
+/// round-trippable while printing small fractions compactly.
+std::string fmtNum(double v) {
+  std::ostringstream ss;
+  ss.precision(15);
+  ss << v;
+  return ss.str();
+}
+
+}  // namespace
+
+const char* Telemetry::kindName(Kind k) noexcept {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kRate: return "rate";
+  }
+  return "?";
+}
+
+Telemetry::Telemetry(sim::Time interval)
+    : interval_(interval > 0 ? interval : 1),
+      epoch_(g_telemetry_epoch.fetch_add(1, std::memory_order_relaxed)) {}
+
+Telemetry::~Telemetry() {
+  if (sim_ != nullptr) detach();
+}
+
+Telemetry::Node* Telemetry::instrument(const std::string& path, Kind kind) {
+  // Commas and quotes are escaped on export; newlines cannot be represented
+  // in the line-based CSV dump, so reject them at registration.
+  if (path.find('\n') != std::string::npos ||
+      path.find('\r') != std::string::npos) {
+    throw std::invalid_argument("telemetry path contains a newline");
+  }
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) {
+    if (it->second->kind != kind) {
+      throw std::invalid_argument("telemetry path registered twice with "
+                                  "different kinds: " +
+                                  path);
+    }
+    return it->second;
+  }
+  nodes_.push_back(std::make_unique<Node>());
+  Node* n = nodes_.back().get();
+  n->path = path;
+  n->kind = kind;
+  by_path_.emplace(path, n);
+  return n;
+}
+
+void Telemetry::addProbe(const std::string& path, Kind kind,
+                         std::function<double()> fn) {
+  instrument(path, kind)->probe = std::move(fn);
+}
+
+void Telemetry::attach(sim::Simulation& sim) {
+  if (sim_ != nullptr) detach();
+  sim_ = &sim;
+  t0_ = sim.now();
+  last_sample_ = t0_;
+  next_due_ = t0_ + interval_;
+  finished_ = false;
+  sim.setTelemetry(this, next_due_);
+}
+
+sim::Time Telemetry::sampleUpTo(sim::Time t) {
+  while (next_due_ < t) {
+    sampleAt(next_due_);
+    next_due_ += interval_;
+  }
+  return next_due_;
+}
+
+void Telemetry::sampleAt(sim::Time t) {
+  for (auto& up : nodes_) {
+    Node& n = *up;
+    const double cur = n.probe ? n.probe() : n.value;
+    double v = cur;
+    if (n.kind == Kind::kRate) {
+      const sim::Time dt = t - last_sample_;
+      v = dt > 0 ? (cur - n.prev) / sim::toSeconds(dt) : 0.0;
+      n.prev = cur;
+    }
+    n.value = cur;  // summary rows show the final cumulative/instant value
+    n.samples.emplace_back(t - t0_, v);
+  }
+  last_sample_ = t;
+}
+
+void Telemetry::finish() {
+  if (finished_) return;
+  if (sim_ != nullptr) {
+    const sim::Time end = sim_->now();
+    while (next_due_ <= end) {
+      sampleAt(next_due_);
+      next_due_ += interval_;
+    }
+    if (end > last_sample_) sampleAt(end);  // final partial bin
+    sim_->setTelemetry(nullptr, 0);
+    sim_ = nullptr;
+  }
+  // Probes reference run-scoped objects (devices, stations); drop them so a
+  // finished registry can safely outlive its testbed (TelemetryHub).
+  for (auto& up : nodes_) up->probe = nullptr;
+  finished_ = true;
+}
+
+void Telemetry::detach() { finish(); }
+
+const Telemetry::Node* Telemetry::find(const std::string& path) const {
+  auto it = by_path_.find(path);
+  return it == by_path_.end() ? nullptr : it->second;
+}
+
+std::size_t Telemetry::sampleCount() const noexcept {
+  std::size_t n = 0;
+  for (const auto& up : nodes_) n += up->samples.size();
+  return n;
+}
+
+void Telemetry::writeCsvRows(std::ostream& os,
+                             const std::string& prefix) const {
+  for (const auto& [path, n] : by_path_) {
+    os << kindName(n->kind) << "," << csvField(prefix + path) << ",total,"
+       << fmtNum(n->value) << "\n";
+  }
+  for (const auto& [path, n] : by_path_) {
+    const std::string name = csvField(prefix + path);
+    for (const auto& [t, v] : n->samples) {
+      os << "series," << name << "," << t << "," << fmtNum(v) << "\n";
+    }
+  }
+}
+
+void Telemetry::writeCsv(std::ostream& os,
+                         const MetricsRegistry* extra) const {
+  os << "# daosim-metrics schema=" << kMetricsSchemaVersion << "\n";
+  os << "# telemetry interval_ns=" << interval_ << "\n";
+  os << "kind,name,field,value\n";
+  writeCsvRows(os, "");
+  if (extra != nullptr) extra->writeCsvRows(os);
+}
+
+namespace {
+
+void jsonBody(std::ostream& os, const Telemetry& t, const char* indent) {
+  std::string ind(indent);
+  os << ind << "\"summary\": {";
+  bool first = true;
+  for (const auto& n : t.nodes()) {
+    os << (first ? "" : ",") << "\n"
+       << ind << "  \"" << jsonEscape(n->path) << "\": {\"kind\": \""
+       << Telemetry::kindName(n->kind) << "\", \"total\": " << fmtNum(n->value)
+       << "}";
+    first = false;
+  }
+  if (!first) os << "\n" << ind;
+  os << "},\n" << ind << "\"series\": {";
+  first = true;
+  for (const auto& n : t.nodes()) {
+    os << (first ? "" : ",") << "\n"
+       << ind << "  \"" << jsonEscape(n->path) << "\": [";
+    bool fs = true;
+    for (const auto& [ts, v] : n->samples) {
+      os << (fs ? "" : ",") << "[" << ts << "," << fmtNum(v) << "]";
+      fs = false;
+    }
+    os << "]";
+    first = false;
+  }
+  if (!first) os << "\n" << ind;
+  os << "}";
+}
+
+}  // namespace
+
+void Telemetry::writeJson(std::ostream& os,
+                          const MetricsRegistry* extra) const {
+  os << "{\n  \"schema\": " << kMetricsSchemaVersion << ",\n"
+     << "  \"interval_ns\": " << interval_ << ",\n";
+  jsonBody(os, *this, "  ");
+  if (extra != nullptr) {
+    os << ",\n  \"metrics\": {\n";
+    extra->writeJsonFields(os, "    ");
+    os << "\n  }";
+  }
+  os << "\n}\n";
+}
+
+TelemetryHub& TelemetryHub::global() {
+  static TelemetryHub hub;
+  return hub;
+}
+
+void TelemetryHub::add(const std::string& label, Telemetry t) {
+  t.finish();
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.emplace(label, std::move(t));
+}
+
+bool TelemetryHub::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.empty();
+}
+
+std::size_t TelemetryHub::runCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_.size();
+}
+
+void TelemetryHub::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_.clear();
+}
+
+void TelemetryHub::writeCsv(std::ostream& os,
+                            const MetricsRegistry* extra) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "# daosim-metrics schema=" << kMetricsSchemaVersion << "\n";
+  for (const auto& [label, t] : runs_) {
+    os << "# telemetry run=" << label << " interval_ns=" << t.interval()
+       << "\n";
+  }
+  os << "kind,name,field,value\n";
+  for (const auto& [label, t] : runs_) t.writeCsvRows(os, label + "/");
+  if (extra != nullptr) extra->writeCsvRows(os);
+}
+
+void TelemetryHub::writeJson(std::ostream& os,
+                             const MetricsRegistry* extra) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\n  \"schema\": " << kMetricsSchemaVersion << ",\n  \"runs\": {";
+  bool first = true;
+  for (const auto& [label, t] : runs_) {
+    os << (first ? "" : ",") << "\n    \"" << jsonEscape(label)
+       << "\": {\n      \"interval_ns\": " << t.interval() << ",\n";
+    jsonBody(os, t, "      ");
+    os << "\n    }";
+    first = false;
+  }
+  if (!first) os << "\n  ";
+  os << "}";
+  if (extra != nullptr) {
+    os << ",\n  \"metrics\": {\n";
+    extra->writeJsonFields(os, "    ");
+    os << "\n  }";
+  }
+  os << "\n}\n";
+}
+
+}  // namespace daosim::obs

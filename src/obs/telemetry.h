@@ -1,0 +1,202 @@
+// obs::Telemetry: a hierarchical, slash-pathed metric tree sampled into
+// in-memory time series on a fixed simulated-time interval — the simulator's
+// analogue of the DAOS d_tm telemetry tree that `daos_metrics` consumes.
+//
+// Metric paths mirror the deployed topology, e.g.
+//   server/0/target/3/nvme/busy_frac     client/2/nic/rx/bytes
+//   server/0/target/3/xs/queue_depth     net/inflight
+// Three instrument kinds exist:
+//   * counter — monotone cumulative value; sampled as-is;
+//   * gauge   — instantaneous value; sampled as-is;
+//   * rate    — monotone cumulative value; each sample is the per-second
+//               delta over the elapsed bin ((cur - prev) / bin_seconds).
+//               A probe returning busy *seconds* therefore samples as a
+//               dimensionless busy fraction.
+//
+// Values come from two sources:
+//   * probes: std::function<double()> registered per component at testbed
+//     attach time (apps::registerProbes), pulled at every sample point —
+//     the hot path is untouched;
+//   * push handles: stable Telemetry::Handle pointers for layers without a
+//     long-lived cumulative counter (e.g. io::SubmitQueue occupancy).
+//     Registration allocates once; add()/set() never allocate.
+//
+// Sampling is driven by the simulation kernel, not a self-rescheduling
+// process (which would keep the event queue from draining): when the kernel
+// pops an event with timestamp strictly greater than the next sample
+// boundary, it snapshots every node at that boundary first (see
+// sim::Simulation). finish() emits any remaining whole bins plus one final
+// partial bin at the current time. With no telemetry attached the kernel
+// pays a single integer compare per event and zero allocations.
+//
+// Timestamps in the series are relative to attach time, so dumps from
+// repetitions with identical workloads are identical. Runs are merged
+// deterministically through TelemetryHub (sorted by run label), which is
+// what keeps serial and --jobs dumps byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace daosim::sim {
+class Simulation;
+}
+
+namespace daosim::obs {
+
+class MetricsRegistry;
+
+class Telemetry {
+ public:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kRate };
+  static const char* kindName(Kind k) noexcept;
+
+  /// One metric node: a path, a current value (pushed or probed), and the
+  /// sampled time series (timestamps relative to attach).
+  struct Node {
+    std::string path;
+    Kind kind = Kind::kGauge;
+    double value = 0;                 // latest cumulative / instantaneous
+    std::function<double()> probe;    // overrides `value` while sampling
+    double prev = 0;                  // previous cumulative (rate bins)
+    std::vector<std::pair<sim::Time, double>> samples;
+  };
+
+  /// Stable push handle; never allocates after registration. A
+  /// default-constructed handle is inert (for cached-handle sites).
+  class Handle {
+   public:
+    Handle() = default;
+    void add(double d) noexcept {
+      if (n_ != nullptr) n_->value += d;
+    }
+    void inc() noexcept { add(1.0); }
+    void set(double v) noexcept {
+      if (n_ != nullptr) n_->value = v;
+    }
+    explicit operator bool() const noexcept { return n_ != nullptr; }
+
+   private:
+    friend class Telemetry;
+    explicit Handle(Node* n) noexcept : n_(n) {}
+    Node* n_ = nullptr;
+  };
+
+  explicit Telemetry(sim::Time interval = 10 * sim::kMillisecond);
+  ~Telemetry();
+
+  Telemetry(Telemetry&&) noexcept = default;
+  Telemetry& operator=(Telemetry&&) noexcept = default;
+
+  // --- registration (cold path; allocates) -----------------------------
+  Handle counter(const std::string& path) {
+    return Handle(instrument(path, Kind::kCounter));
+  }
+  Handle gauge(const std::string& path) {
+    return Handle(instrument(path, Kind::kGauge));
+  }
+  Handle rate(const std::string& path) {
+    return Handle(instrument(path, Kind::kRate));
+  }
+  /// Pull-style metric: `fn` is invoked at every sample point (and never
+  /// after finish(), so it may reference run-scoped objects).
+  void addProbe(const std::string& path, Kind kind,
+                std::function<double()> fn);
+
+  // --- lifecycle --------------------------------------------------------
+  /// Starts sampling on `sim` (installs this as sim.telemetry()); the first
+  /// boundary is attach-time + interval.
+  void attach(sim::Simulation& sim);
+  /// finish() + uninstall from the simulation.
+  void detach();
+  /// Emits every whole-bin sample up to the current simulated time plus a
+  /// final partial bin, then drops all probe functions (safe to outlive the
+  /// probed objects). Idempotent; implied by detach().
+  void finish();
+
+  bool attached() const noexcept { return sim_ != nullptr; }
+  sim::Time interval() const noexcept { return interval_; }
+  /// Monotone instance id for cached-handle invalidation (a fresh Telemetry
+  /// never sees a handle cached against a previous one).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- kernel interface -------------------------------------------------
+  /// Samples every boundary strictly below `t`; called by the simulation
+  /// kernel when an event passes the next boundary. Returns the new next
+  /// boundary (absolute).
+  sim::Time sampleUpTo(sim::Time t);
+  sim::Time nextDue() const noexcept { return next_due_; }
+
+  // --- inspection / export ---------------------------------------------
+  const std::vector<std::unique_ptr<Node>>& nodes() const noexcept {
+    return nodes_;
+  }
+  const Node* find(const std::string& path) const;
+  std::size_t sampleCount() const noexcept;
+
+  /// Schema-versioned CSV dump (`# daosim-metrics schema=2`): summary rows
+  /// (`kind,path,value,total`) followed by a time-series section
+  /// (`series,path,t_ns,value`). `extra` appends a MetricsRegistry's rows
+  /// (e.g. the observer's op.* layer aggregates). Requires finish().
+  void writeCsv(std::ostream& os, const MetricsRegistry* extra = nullptr) const;
+  /// JSON equivalent with a top-level "schema": 2 field.
+  void writeJson(std::ostream& os,
+                 const MetricsRegistry* extra = nullptr) const;
+
+  /// Summary + series rows only (no header); every path gets `prefix`
+  /// prepended. Used by TelemetryHub to splice runs into one dump.
+  void writeCsvRows(std::ostream& os, const std::string& prefix) const;
+
+ private:
+  Node* instrument(const std::string& path, Kind kind);
+  void sampleAt(sim::Time t);
+
+  sim::Time interval_;
+  sim::Time t0_ = 0;           // absolute attach time
+  sim::Time next_due_ = 0;     // absolute next boundary
+  sim::Time last_sample_ = 0;  // absolute time of the previous sample
+  bool finished_ = false;
+  sim::Simulation* sim_ = nullptr;
+  std::uint64_t epoch_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, Node*> by_path_;
+};
+
+/// Collects per-run Telemetry registries and writes one merged dump with
+/// every path prefixed by its run label. Runs may finish in any order on
+/// any thread (parallel sweeps); the dump iterates labels sorted, so a
+/// serial and a --jobs run of the same workload produce byte-identical
+/// files.
+class TelemetryHub {
+ public:
+  /// Process-wide hub used by the bench binaries and daosim_run.
+  static TelemetryHub& global();
+
+  /// Takes ownership of a finished run's registry. Labels must be unique
+  /// per run and deterministic (derived from the run's identity, not from
+  /// scheduling); a duplicate label keeps the first registry.
+  void add(const std::string& label, Telemetry t);
+
+  bool empty() const;
+  std::size_t runCount() const;
+  void clear();
+
+  void writeCsv(std::ostream& os, const MetricsRegistry* extra = nullptr) const;
+  void writeJson(std::ostream& os,
+                 const MetricsRegistry* extra = nullptr) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Telemetry> runs_;
+};
+
+}  // namespace daosim::obs

@@ -27,6 +27,7 @@ FileStat fromDfsStat(const dfs::Stat& st) {
 std::optional<dfs::DirEntry> DfuseDaemon::dentryHit(
     const std::string& path) const {
   if (!config_.dentry_cache) return std::nullopt;
+  ++cache_lookups_;
   auto it = dentry_cache_.find(path);
   if (it == dentry_cache_.end()) return std::nullopt;
   ++cache_hits_;
@@ -40,6 +41,7 @@ void DfuseDaemon::dentryStore(const std::string& path,
 
 std::optional<FileStat> DfuseDaemon::attrHit(const std::string& path) const {
   if (!config_.attr_cache) return std::nullopt;
+  ++cache_lookups_;
   auto it = attr_cache_.find(path);
   if (it == attr_cache_.end()) return std::nullopt;
   ++cache_hits_;
@@ -53,6 +55,7 @@ void DfuseDaemon::attrStore(const std::string& path, const FileStat& st) {
 Payload* DfuseDaemon::dataHit(const std::string& path, std::uint64_t offset,
                               std::uint64_t length) {
   if (!config_.data_cache) return nullptr;
+  ++cache_lookups_;
   auto fit = data_cache_.find(path);
   if (fit == data_cache_.end()) return nullptr;
   auto bit = fit->second.find(offset);

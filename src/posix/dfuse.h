@@ -65,6 +65,9 @@ class DfuseDaemon {
   void invalidate(const std::string& path);
 
   std::uint64_t cacheHits() const noexcept { return cache_hits_; }
+  /// Cache probes attempted (hits + misses) while the respective cache is
+  /// enabled; telemetry derives hit rate as d(hits)/d(lookups) per bin.
+  std::uint64_t cacheLookups() const noexcept { return cache_lookups_; }
 
  private:
   dfs::FileSystem fs_;
@@ -75,6 +78,7 @@ class DfuseDaemon {
   std::map<std::string, FileStat> attr_cache_;
   std::map<std::string, std::map<std::uint64_t, Payload>> data_cache_;
   mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_lookups_ = 0;
 };
 
 /// Direct libdfs access (per process).

@@ -80,6 +80,11 @@ class QueueStation {
     }
   }
 
+  /// Accounts payload bytes moved through this station (NIC directions get
+  /// this from Cluster::send); feeds the telemetry bytes/s series.
+  void noteBytes(std::uint64_t b) noexcept { bytes_ += b; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+
   const std::string& name() const noexcept { return name_; }
   std::uint64_t ops() const noexcept { return ops_; }
   Time busyTime() const noexcept { return busy_ns_; }
@@ -111,6 +116,7 @@ class QueueStation {
     ops_ = 0;
     busy_ns_ = 0;
     wait_ns_ = 0;
+    bytes_ = 0;
     wait_hist_.reset();
   }
 
@@ -131,6 +137,7 @@ class QueueStation {
   std::uint64_t ops_ = 0;
   Time busy_ns_ = 0;
   Time wait_ns_ = 0;
+  std::uint64_t bytes_ = 0;
   obs::Histogram wait_hist_;
   int trace_pid_ = 0;
   obs::TrackId track_ = 0;

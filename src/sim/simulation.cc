@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/telemetry.h"
+
 namespace daosim::sim {
 
 namespace detail {
@@ -42,6 +44,11 @@ std::size_t Simulation::run(std::size_t max_events) {
     }
     const EventQueue::Item e = queue_.pop();
     assert(e.t >= now_);
+    // Sample the telemetry tree at every boundary this event steps over
+    // (strictly below e.t: events at exactly the boundary run first, so a
+    // sample at B reflects all state changes with timestamps <= B). With no
+    // telemetry attached telemetry_due_ is kNever and this is one compare.
+    if (e.t > telemetry_due_) [[unlikely]] telemetrySample(e.t);
     now_ = e.t;
     ++n;
     ++processed_;
@@ -54,6 +61,7 @@ std::size_t Simulation::runUntil(Time t) {
   std::size_t n = 0;
   while (!queue_.empty() && queue_.nextTime() <= t) {
     const EventQueue::Item e = queue_.pop();
+    if (e.t > telemetry_due_) [[unlikely]] telemetrySample(e.t);
     now_ = e.t;
     ++n;
     ++processed_;
@@ -61,6 +69,10 @@ std::size_t Simulation::runUntil(Time t) {
   }
   if (now_ < t) now_ = t;
   return n;
+}
+
+void Simulation::telemetrySample(Time t) {
+  telemetry_due_ = telemetry_->sampleUpTo(t);
 }
 
 }  // namespace daosim::sim

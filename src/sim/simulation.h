@@ -28,6 +28,7 @@
 
 namespace daosim::obs {
 class Observer;
+class Telemetry;
 }  // namespace daosim::obs
 
 namespace daosim::sim {
@@ -212,7 +213,23 @@ class Simulation {
   obs::Observer* observer() const noexcept { return observer_; }
   void setObserver(obs::Observer* o) noexcept { observer_ = o; }
 
+  /// Telemetry sampler; null (the default) disables periodic sampling.
+  /// Installed by obs::Telemetry::attach(), which supplies the first sample
+  /// boundary. With no telemetry the kernel pays one integer compare per
+  /// event (telemetry_due_ stays at kNever) and allocates nothing; push
+  /// instrument sites guard on this pointer like observer sites do.
+  obs::Telemetry* telemetry() const noexcept { return telemetry_; }
+  void setTelemetry(obs::Telemetry* t, Time next_due) noexcept {
+    telemetry_ = t;
+    telemetry_due_ = t != nullptr ? next_due : kNever;
+  }
+
  private:
+  static constexpr Time kNever = ~Time{0};
+
+  /// Cold path: snapshots the telemetry tree at every sample boundary the
+  /// event at `t` is about to pass (out of line; see simulation.cc).
+  void telemetrySample(Time t);
   static detail::Root runRoot(detail::JoinRef state, Task<void> task);
 
   EventQueue queue_;
@@ -222,6 +239,8 @@ class Simulation {
   std::uint64_t past_clamps_ = 0;
   Rng rng_;
   obs::Observer* observer_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
+  Time telemetry_due_ = kNever;
 };
 
 }  // namespace daosim::sim

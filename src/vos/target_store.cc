@@ -42,6 +42,7 @@ std::uint64_t TargetStore::valueBytes(const Value& v) const {
 
 void TargetStore::valuePut(ContId c, const ObjectId& o, std::string_view dkey,
                            std::string_view akey, Payload value) {
+  ++value_puts_;
   auto& entry = objectShard(c, o).dkeys[std::string(dkey)];
   auto [it, inserted] = entry.akeys.try_emplace(std::string(akey));
   if (!inserted) bytes_stored_ -= valueBytes(it->second);
@@ -52,6 +53,7 @@ void TargetStore::valuePut(ContId c, const ObjectId& o, std::string_view dkey,
 const Payload* TargetStore::valueGet(ContId c, const ObjectId& o,
                                      std::string_view dkey,
                                      std::string_view akey) const {
+  ++value_gets_;
   const auto* obj = findObject(c, o);
   if (!obj) return nullptr;
   auto dit = obj->dkeys.find(dkey);
@@ -80,6 +82,7 @@ bool TargetStore::valueRemove(ContId c, const ObjectId& o,
 void TargetStore::extentWrite(ContId c, const ObjectId& o,
                               std::string_view dkey, std::string_view akey,
                               std::uint64_t offset, Payload payload) {
+  ++extent_writes_;
   auto& entry = objectShard(c, o).dkeys[std::string(dkey)];
   auto [it, inserted] = entry.akeys.try_emplace(std::string(akey));
   if (inserted || !std::holds_alternative<ExtentTree>(it->second)) {
@@ -97,6 +100,7 @@ ExtentTree::ReadResult TargetStore::extentRead(ContId c, const ObjectId& o,
                                                std::string_view akey,
                                                std::uint64_t offset,
                                                std::uint64_t length) const {
+  ++extent_reads_;
   const auto* obj = findObject(c, o);
   if (obj) {
     auto dit = obj->dkeys.find(dkey);

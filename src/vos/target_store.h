@@ -103,6 +103,17 @@ class TargetStore {
   std::uint64_t objectCount() const noexcept;
   std::uint64_t containerCount() const noexcept { return containers_.size(); }
 
+  // Cumulative record-op counts (telemetry rate probes: per-target VOS
+  // op/s). Reads count even when they miss — the lookup work happens either
+  // way.
+  std::uint64_t valuePuts() const noexcept { return value_puts_; }
+  std::uint64_t valueGets() const noexcept { return value_gets_; }
+  std::uint64_t extentWrites() const noexcept { return extent_writes_; }
+  std::uint64_t extentReads() const noexcept { return extent_reads_; }
+  std::uint64_t recordOps() const noexcept {
+    return value_puts_ + value_gets_ + extent_writes_ + extent_reads_;
+  }
+
  private:
   using Value = std::variant<Payload, ExtentTree>;
   struct DkeyEntry {
@@ -127,6 +138,10 @@ class TargetStore {
   bool retain_data_;
   std::unordered_map<ContId, ContainerShard> containers_;
   std::uint64_t bytes_stored_ = 0;
+  std::uint64_t value_puts_ = 0;
+  mutable std::uint64_t value_gets_ = 0;  // bumped in const getters
+  std::uint64_t extent_writes_ = 0;
+  mutable std::uint64_t extent_reads_ = 0;
 };
 
 }  // namespace daosim::vos

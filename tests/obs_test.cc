@@ -145,7 +145,7 @@ TEST(Metrics, CsvHasSchemaHeader) {
   std::ostringstream os;
   reg.writeCsv(os);
   const std::string out = os.str();
-  EXPECT_EQ(out.rfind("# daosim-metrics schema=1\n", 0), 0u) << out;
+  EXPECT_EQ(out.rfind("# daosim-metrics schema=2\n", 0), 0u) << out;
   EXPECT_NE(out.find("counter,ops.total,value,5"), std::string::npos) << out;
   EXPECT_NE(out.find("histogram,lat,count,1"), std::string::npos) << out;
 }
@@ -156,7 +156,7 @@ TEST(Metrics, JsonHasSchemaField) {
   std::ostringstream os;
   reg.writeJson(os);
   const std::string out = os.str();
-  const auto schema = out.find("\"schema\": 1");
+  const auto schema = out.find("\"schema\": 2");
   ASSERT_NE(schema, std::string::npos) << out;
   // Schema version leads the document, before any metric content.
   EXPECT_LT(schema, out.find("\"counters\"")) << out;

@@ -1,0 +1,313 @@
+// obs::Telemetry contract tests: kernel-driven bin boundaries (including
+// intervals that do not divide the run, zero-length runs, and intervals
+// longer than the run), rate-meter windowing with a partial final bin,
+// probe sampling, CSV name escaping + reader round-trip, schema-version
+// rejection, the bottleneck analyzer on a synthetic two-station pipeline,
+// and byte-identical hub dumps for serial vs parallel sweeps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.h"
+#include "obs/telemetry_reader.h"
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace daosim {
+namespace {
+
+using obs::Telemetry;
+using sim::Simulation;
+using sim::Task;
+using sim::Time;
+using namespace sim::literals;
+
+Task<void> idleUntil(Simulation* sim, Time t) {
+  co_await sim->delay(t - sim->now());
+}
+
+// --- sampler bin boundaries ------------------------------------------------
+
+TEST(TelemetrySampler, IntervalNotDividingRunEmitsPartialFinalBin) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  t.gauge("g");
+  t.attach(sim);
+  sim.spawn(idleUntil(&sim, 25_ms));
+  sim.run();
+  t.finish();
+  const Telemetry::Node* n = t.find("g");
+  ASSERT_NE(n, nullptr);
+  std::vector<Time> at;
+  for (const auto& [ts, v] : n->samples) at.push_back(ts);
+  EXPECT_EQ(at, (std::vector<Time>{10_ms, 20_ms, 25_ms}));
+}
+
+TEST(TelemetrySampler, ZeroLengthRunHasNoSamples) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  t.gauge("g");
+  t.attach(sim);
+  t.finish();
+  EXPECT_EQ(t.sampleCount(), 0u);
+}
+
+TEST(TelemetrySampler, IntervalLongerThanRunYieldsOnePartialSample) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  t.gauge("g");
+  t.attach(sim);
+  sim.spawn(idleUntil(&sim, 5_ms));
+  sim.run();
+  t.finish();
+  const Telemetry::Node* n = t.find("g");
+  ASSERT_EQ(n->samples.size(), 1u);
+  EXPECT_EQ(n->samples[0].first, 5_ms);
+}
+
+TEST(TelemetrySampler, FinishIsIdempotent) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  t.gauge("g");
+  t.attach(sim);
+  sim.spawn(idleUntil(&sim, 12_ms));
+  sim.run();
+  t.finish();
+  const std::size_t n = t.sampleCount();
+  t.finish();
+  t.detach();
+  EXPECT_EQ(t.sampleCount(), n);
+}
+
+TEST(TelemetrySampler, AttachTimeIsTheSeriesOrigin) {
+  // A registry attached mid-run reports timestamps relative to attach, so
+  // identical workloads dump identically regardless of deployment time.
+  Simulation sim;
+  sim.spawn(idleUntil(&sim, 7_ms));
+  sim.run();
+  Telemetry t(10_ms);
+  t.gauge("g");
+  t.attach(sim);
+  sim.spawn(idleUntil(&sim, 7_ms + 15_ms));
+  sim.run();
+  t.finish();
+  const Telemetry::Node* n = t.find("g");
+  ASSERT_EQ(n->samples.size(), 2u);
+  EXPECT_EQ(n->samples[0].first, 10_ms);
+  EXPECT_EQ(n->samples[1].first, 15_ms);
+}
+
+// --- rate windowing --------------------------------------------------------
+
+Task<void> pump(Simulation* sim, Telemetry::Handle h, int ticks) {
+  for (int i = 0; i < ticks; ++i) {
+    co_await sim->delay(1_ms);
+    h.add(1000.0);
+  }
+}
+
+// 40% duty cycle: 0.4ms of busy time accrued per 1ms step.
+Task<void> accrueBusy(Simulation* sim, double* busy_ns) {
+  for (int i = 0; i < 20; ++i) {
+    co_await sim->delay(1_ms);
+    *busy_ns += 0.4e6;
+  }
+}
+
+TEST(TelemetryRate, PerBinDeltaOverActualBinWidth) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  Telemetry::Handle h = t.rate("bytes");
+  t.attach(sim);
+  sim.spawn(pump(&sim, h, 25));  // +1000 every 1ms for 25ms
+  sim.run();
+  t.finish();
+  const Telemetry::Node* n = t.find("bytes");
+  ASSERT_EQ(n->samples.size(), 3u);
+  // Whole 10ms bins: 10 ticks * 1000 / 0.01s.
+  EXPECT_DOUBLE_EQ(n->samples[0].second, 1e6);
+  EXPECT_DOUBLE_EQ(n->samples[1].second, 1e6);
+  // Partial 5ms bin divides by its real width, so the rate is unchanged.
+  EXPECT_EQ(n->samples[2].first, 25_ms);
+  EXPECT_DOUBLE_EQ(n->samples[2].second, 1e6);
+  // Summary keeps the cumulative total, not the rate.
+  EXPECT_DOUBLE_EQ(n->value, 25000.0);
+}
+
+TEST(TelemetryRate, ProbeBusySecondsSampleAsUtilization) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  double busy_ns = 0;
+  t.addProbe("st/busy_frac", Telemetry::Kind::kRate,
+             [&busy_ns] { return busy_ns / 1e9; });
+  t.attach(sim);
+  sim.spawn(accrueBusy(&sim, &busy_ns));
+  sim.run();
+  t.finish();
+  const Telemetry::Node* n = t.find("st/busy_frac");
+  ASSERT_EQ(n->samples.size(), 2u);
+  EXPECT_NEAR(n->samples[0].second, 0.4, 1e-12);
+  EXPECT_NEAR(n->samples[1].second, 0.4, 1e-12);
+}
+
+// --- registration ----------------------------------------------------------
+
+TEST(TelemetryTree, KindConflictAndNewlineRejected) {
+  Telemetry t;
+  t.counter("a/b");
+  EXPECT_NO_THROW(t.counter("a/b"));  // same kind dedups to one node
+  EXPECT_THROW(t.gauge("a/b"), std::invalid_argument);
+  EXPECT_THROW(t.gauge("bad\nname"), std::invalid_argument);
+  EXPECT_THROW(t.gauge("bad\rname"), std::invalid_argument);
+}
+
+// --- escaping + reader round-trip -------------------------------------------
+
+TEST(TelemetryCsv, CommaAndQuoteNamesRoundTripThroughReader) {
+  Simulation sim;
+  Telemetry t(10_ms);
+  const std::string evil = "evil,\"quoted\"/path";
+  t.gauge(evil);
+  t.attach(sim);
+  sim.spawn(idleUntil(&sim, 12_ms));
+  sim.run();
+  t.finish();
+  std::stringstream ss;
+  t.writeCsv(ss);
+  const obs::TelemetryDump dump = obs::parseTelemetryCsv(ss);
+  EXPECT_EQ(dump.schema, 2);
+  ASSERT_EQ(dump.summary.count(evil), 1u);
+  EXPECT_EQ(dump.summary.at(evil).first, "gauge");
+  ASSERT_EQ(dump.series.count(evil), 1u);
+  EXPECT_EQ(dump.series.at(evil).size(), 2u);  // 10ms + partial 12ms
+}
+
+TEST(TelemetryCsv, ReaderRejectsOtherSchemas) {
+  std::stringstream ss;
+  ss << "# daosim-metrics schema=1\nkind,name,field,value\n";
+  try {
+    obs::parseTelemetryCsv(ss);
+    FAIL() << "expected schema mismatch to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("schema 1"), std::string::npos)
+        << e.what();
+  }
+  std::stringstream junk("not,a,dump\n");
+  EXPECT_THROW(obs::parseTelemetryCsv(junk), std::runtime_error);
+}
+
+// --- station classes + analyzer ---------------------------------------------
+
+TEST(TelemetryAnalyzer, StationClassStripsIndicesAndRunLabels) {
+  EXPECT_EQ(obs::stationClass("server/3/target/5/nvme/busy_frac"), "nvme");
+  EXPECT_EQ(obs::stationClass("rep/0/server/3/target/5/nvme/busy_frac"),
+            "nvme");
+  EXPECT_EQ(obs::stationClass("client/7/nic/rx/bytes_per_s"), "nic/rx");
+  EXPECT_EQ(obs::stationClass("ior-dfs/c4/n16/rep/2/net/inflight"), "net");
+  EXPECT_EQ(obs::stationClass("mds/busy_frac"), "mds");
+}
+
+TEST(TelemetryAnalyzer, TwoStationPipelineNamesTheSlowStation) {
+  // Synthetic pipeline: 4 NVMe units near saturation, 4 xstreams mostly
+  // idle, plus op.* layer counters dominated by device time.
+  std::stringstream ss;
+  ss << "# daosim-metrics schema=2\nkind,name,field,value\n";
+  for (int u = 0; u < 4; ++u) {
+    for (int b = 1; b <= 3; ++b) {
+      ss << "series,target/" << u << "/nvme/busy_frac," << b * 10000000
+         << ",0.9\n";
+      ss << "series,target/" << u << "/xs/busy_frac," << b * 10000000
+         << ",0.2\n";
+    }
+  }
+  ss << "counter,op.write.device_ns,value,8000000000\n";
+  ss << "counter,op.write.net_request_ns,value,1500000000\n";
+  ss << "counter,op.write.client_ns,value,500000000\n";
+  const obs::Analysis a = obs::analyze(obs::parseTelemetryCsv(ss));
+  EXPECT_EQ(a.verdict, "nvme");
+  EXPECT_NEAR(a.verdict_util, 0.9, 1e-9);
+  ASSERT_EQ(a.classes.size(), 2u);
+  EXPECT_FALSE(a.classes[0].straggler);  // perfectly balanced
+  ASSERT_FALSE(a.layer_share.empty());
+  EXPECT_EQ(a.layer_share[0].first, "device");
+  EXPECT_NEAR(a.layer_share[0].second, 0.8, 1e-9);
+}
+
+TEST(TelemetryAnalyzer, ImbalancedClassFlagsStraggler) {
+  std::stringstream ss;
+  ss << "# daosim-metrics schema=2\nkind,name,field,value\n";
+  for (int u = 0; u < 4; ++u) {
+    const char* util = u == 2 ? "0.9" : "0.1";
+    ss << "series,target/" << u << "/nvme/busy_frac,10000000," << util
+       << "\n";
+  }
+  const obs::Analysis a = obs::analyze(obs::parseTelemetryCsv(ss));
+  ASSERT_EQ(a.classes.size(), 1u);
+  EXPECT_TRUE(a.classes[0].straggler);
+  EXPECT_EQ(a.classes[0].hottest_unit, "target/2/nvme");
+  EXPECT_NEAR(a.classes[0].imbalance, 0.9 / 0.3, 1e-9);
+}
+
+// --- hub determinism ---------------------------------------------------------
+
+Task<void> hubWorkload(Simulation* sim, Telemetry::Handle ops,
+                       std::uint64_t seed) {
+  for (std::uint64_t i = 0; i < 20 + seed; ++i) {
+    co_await sim->delay(1_ms);
+    ops.add(1.0 + static_cast<double>(seed));
+  }
+}
+
+std::string hubDump(int jobs) {
+  obs::TelemetryHub hub;
+  sim::ParallelRunner pool(jobs);
+  pool.map(4, [&hub](std::size_t rep) {
+    Simulation sim;
+    Telemetry t(10_ms);
+    Telemetry::Handle ops = t.rate("ops");
+    t.addProbe("now_ms", Telemetry::Kind::kGauge,
+               [&sim] { return sim::toSeconds(sim.now()) * 1e3; });
+    t.attach(sim);
+    sim.spawn(hubWorkload(&sim, ops, rep));
+    sim.run();
+    hub.add("rep/" + std::to_string(rep), std::move(t));
+    return 0;
+  });
+  std::ostringstream os;
+  hub.writeCsv(os);
+  return os.str();
+}
+
+TEST(TelemetryHub, SerialAndParallelDumpsAreByteIdentical) {
+  const std::string serial = hubDump(1);
+  EXPECT_EQ(serial, hubDump(4));
+  // And the merged dump parses with every run's series present.
+  std::stringstream ss(serial);
+  const obs::TelemetryDump dump = obs::parseTelemetryCsv(ss);
+  EXPECT_EQ(dump.run_intervals.size(), 4u);
+  EXPECT_EQ(dump.series.count("rep/0/ops"), 1u);
+  EXPECT_EQ(dump.series.count("rep/3/ops"), 1u);
+}
+
+TEST(TelemetryHub, DuplicateLabelKeepsFirstRegistry) {
+  obs::TelemetryHub hub;
+  Telemetry a;
+  a.gauge("first");
+  Telemetry b;
+  b.gauge("second");
+  hub.add("rep/0", std::move(a));
+  hub.add("rep/0", std::move(b));
+  EXPECT_EQ(hub.runCount(), 1u);
+  std::ostringstream os;
+  hub.writeCsv(os);
+  EXPECT_NE(os.str().find("rep/0/first"), std::string::npos);
+  EXPECT_EQ(os.str().find("rep/0/second"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daosim

@@ -15,6 +15,7 @@
 //   daosim_run --system ceph --bench fdb --pgs 256
 //   daosim_run --bench ior --oclass EC_2P1GX --shared
 //   daosim_run --bench ior --trace=trace.json --metrics=m.csv
+//   daosim_run --bench ior --telemetry=telem.csv --telemetry-interval=5ms
 //
 // The --api names come from the io::Backend registry (see io/backend.h);
 // --system is inferred from --api when omitted, and vice versa.
@@ -24,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "apps/fdb.h"
@@ -32,9 +34,12 @@
 #include "apps/runner.h"
 #include "apps/stats_report.h"
 #include "apps/sweep.h"
+#include "apps/telemetry_probes.h"
 #include "apps/testbed.h"
 #include "io/backend.h"
 #include "obs/observer.h"
+#include "obs/telemetry.h"
+#include "obs/telemetry_reader.h"
 #include "sim/parallel.h"
 
 namespace {
@@ -60,8 +65,12 @@ struct Options {
   bool shared = false;
   bool async_index = false;
   bool stats = false;
-  std::string trace_file;    // --trace / DAOSIM_TRACE
-  std::string metrics_file;  // --metrics / DAOSIM_METRICS
+  bool write_only = false;  // --write-only: skip the IOR read phase
+  bool read_only = false;   // --read-only: write silently, time reads only
+  std::string trace_file;      // --trace / DAOSIM_TRACE
+  std::string metrics_file;    // --metrics / DAOSIM_METRICS
+  std::string telemetry_file;  // --telemetry / DAOSIM_TELEMETRY
+  sim::Time telemetry_interval = 0;  // 0 = DAOSIM_TELEMETRY_INTERVAL / 10ms
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -78,18 +87,29 @@ struct Options {
       "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
       "          [--reps N] [--jobs N] [--seed N] [--pgs N] [--replicas N]\n"
       "          [--queue-depth N] [--shared] [--async-index] [--stats]\n"
+      "          [--write-only | --read-only]\n"
       "          [--trace FILE] [--metrics FILE]\n"
+      "          [--telemetry FILE] [--telemetry-interval DUR]\n"
       "Backends: --api picks an io::Backend by registry name; --system is\n"
       "inferred from it (and vice versa: --system alone picks that system's\n"
       "default backend). --queue-depth N keeps up to N IOR transfers in\n"
       "flight per process (1 = sequential issue, the paper's setup).\n"
+      "--write-only / --read-only run just that IOR phase (reads hit the\n"
+      "timing model whether or not data was written first).\n"
       "Parallelism: --jobs (or DAOSIM_JOBS) runs repetitions concurrently\n"
       "on a worker pool; results are identical to --jobs 1 for a fixed\n"
       "--seed because every repetition is a self-contained simulation.\n"
       "Observability: --trace writes a Chrome-trace JSON (open in\n"
       "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
       "file ends in .json) of op latency histograms, both for the last\n"
-      "repetition. DAOSIM_TRACE / DAOSIM_METRICS env vars are fallbacks.\n",
+      "repetition. DAOSIM_TRACE / DAOSIM_METRICS env vars are fallbacks.\n"
+      "--telemetry samples a per-component metric tree every\n"
+      "--telemetry-interval of simulated time (default 10ms; \"500us\",\n"
+      "\"5ms\", ... — see obs/telemetry.h) across every repetition and\n"
+      "writes one schema-versioned dump (CSV, or JSON for .json files)\n"
+      "that daosim_metrics turns into a bottleneck report. With --stats\n"
+      "the report is also printed here. DAOSIM_TELEMETRY /\n"
+      "DAOSIM_TELEMETRY_INTERVAL env vars are fallbacks.\n",
       argv0, apis.c_str());
   std::exit(2);
 }
@@ -185,17 +205,25 @@ Options parse(int argc, char** argv) {
       o.async_index = true;
     } else if (arg == "--stats") {
       o.stats = true;
+    } else if (arg == "--write-only") {
+      o.write_only = true;
+    } else if (arg == "--read-only") {
+      o.read_only = true;
     } else if (arg == "--trace") {
       o.trace_file = value();
     } else if (arg == "--metrics") {
       o.metrics_file = value();
+    } else if (arg == "--telemetry") {
+      o.telemetry_file = value();
+    } else if (arg == "--telemetry-interval") {
+      o.telemetry_interval = apps::parseDuration(value());
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(argv[0]);
     }
   }
   if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0 ||
-      o.queue_depth <= 0) {
+      o.queue_depth <= 0 || (o.read_only && o.write_only)) {
     usage(argv[0]);
   }
   resolveApiAndSystem(o);
@@ -204,6 +232,10 @@ Options parse(int argc, char** argv) {
   }
   if (o.metrics_file.empty()) {
     if (const char* v = std::getenv("DAOSIM_METRICS")) o.metrics_file = v;
+  }
+  if (o.telemetry_file.empty()) o.telemetry_file = apps::telemetryEnvFile();
+  if (o.telemetry_interval == 0) {
+    o.telemetry_interval = apps::telemetryEnvInterval();
   }
   return o;
 }
@@ -225,6 +257,8 @@ apps::IorConfig iorConfig(const Options& o) {
   cfg.oclass = placement::classFromName(o.oclass);
   cfg.shared_file = o.shared;
   cfg.queue_depth = o.queue_depth;
+  cfg.write_phase = !o.read_only;
+  cfg.read_phase = !o.write_only;
   return cfg;
 }
 
@@ -245,8 +279,15 @@ apps::FdbConfig fdbConfig(const Options& o) {
 /// backend-neutral.
 template <typename Testbed>
 apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
-                         obs::Observer* observer) {
+                         obs::Observer* observer,
+                         const std::string& run_label) {
   const sim::Time t0 = tb.sim().now();
+  // Scoped: the registry detaches and lands in TelemetryHub::global()
+  // (keyed by the deterministic rep label) before the testbed dies.
+  apps::ScopedRunTelemetry telem(tb.sim(), run_label,
+                                 !o.telemetry_file.empty(),
+                                 o.telemetry_interval);
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
   if (observer != nullptr) observer->attach(tb.sim());
   apps::RunResult r;
   if (o.bench == "ior") {
@@ -273,27 +314,27 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
 }
 
 apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
-                        obs::Observer* observer) {
+                        obs::Observer* observer, const std::string& label) {
   apps::DaosTestbed::Options opt;
   opt.server_nodes = o.servers;
   opt.client_nodes = o.clients;
   opt.seed = seed;
   apps::DaosTestbed tb(opt);
-  return runBench(o, tb, stats, observer);
+  return runBench(o, tb, stats, observer, label);
 }
 
 apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats,
-                          obs::Observer* observer) {
+                          obs::Observer* observer, const std::string& label) {
   apps::LustreTestbed::Options opt;
   opt.oss_nodes = o.servers;
   opt.client_nodes = o.clients;
   opt.seed = seed;
   apps::LustreTestbed tb(opt);
-  return runBench(o, tb, stats, observer);
+  return runBench(o, tb, stats, observer, label);
 }
 
 apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
-                        obs::Observer* observer) {
+                        obs::Observer* observer, const std::string& label) {
   apps::CephTestbed::Options opt;
   opt.osd_nodes = o.servers;
   opt.client_nodes = o.clients;
@@ -301,7 +342,7 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
   opt.ceph.pg_count = o.pgs;
   opt.ceph.replica_count = o.replicas;
   apps::CephTestbed tb(opt);
-  return runBench(o, tb, stats, observer);
+  return runBench(o, tb, stats, observer, label);
 }
 
 }  // namespace
@@ -312,8 +353,8 @@ int main(int argc, char** argv) {
     // Observe the last repetition only (mirrors --stats), so traces and
     // metrics describe one run rather than a mix of seeds.
     obs::Observer observer;
-    const bool want_obs =
-        o.stats || !o.trace_file.empty() || !o.metrics_file.empty();
+    const bool want_obs = o.stats || !o.trace_file.empty() ||
+                          !o.metrics_file.empty() || !o.telemetry_file.empty();
     if (!o.trace_file.empty()) observer.enableTracing();
     apps::Measurement m;
     m.point = apps::SweepPoint{o.clients, o.ppn};
@@ -328,9 +369,14 @@ int main(int argc, char** argv) {
           const bool last = rep == static_cast<std::size_t>(o.reps) - 1;
           const bool stats = o.stats && last;
           obs::Observer* obsp = want_obs && last ? &observer : nullptr;
-          if (o.system == "daos") return runDaos(o, seed, stats, obsp);
-          if (o.system == "lustre") return runLustre(o, seed, stats, obsp);
-          if (o.system == "ceph") return runCeph(o, seed, stats, obsp);
+          const std::string label = "rep/" + std::to_string(rep);
+          if (o.system == "daos") {
+            return runDaos(o, seed, stats, obsp, label);
+          }
+          if (o.system == "lustre") {
+            return runLustre(o, seed, stats, obsp, label);
+          }
+          if (o.system == "ceph") return runCeph(o, seed, stats, obsp, label);
           throw std::invalid_argument("unknown --system: " + o.system);
         });
     for (const auto& r : results) m.add(r);
@@ -338,14 +384,36 @@ int main(int argc, char** argv) {
       std::ofstream f(o.trace_file);
       observer.writeChromeTrace(f);
     }
+    bool metrics_exported = false;
     if (!o.metrics_file.empty()) {
       observer.exportMetrics();
+      metrics_exported = true;
       std::ofstream f(o.metrics_file);
       const std::string& mf = o.metrics_file;
       if (mf.size() >= 5 && mf.compare(mf.size() - 5, 5, ".json") == 0) {
         observer.metrics().writeJson(f);
       } else {
         observer.metrics().writeCsv(f);
+      }
+    }
+    if (!o.telemetry_file.empty()) {
+      // Splice the last rep's op.* layer aggregates into the dump so the
+      // analyzer can attribute wall-clock share per layer.
+      if (!metrics_exported) observer.exportMetrics();
+      const obs::MetricsRegistry* extra = &observer.metrics();
+      obs::TelemetryHub& hub = obs::TelemetryHub::global();
+      std::ofstream f(o.telemetry_file);
+      const std::string& tf = o.telemetry_file;
+      if (tf.size() >= 5 && tf.compare(tf.size() - 5, 5, ".json") == 0) {
+        hub.writeJson(f, extra);
+      } else {
+        hub.writeCsv(f, extra);
+      }
+      if (o.stats) {
+        std::stringstream ss;
+        hub.writeCsv(ss, extra);
+        std::cout << "\n-- telemetry bottleneck report --\n";
+        obs::writeReport(std::cout, obs::analyze(obs::parseTelemetryCsv(ss)));
       }
     }
     std::printf(
