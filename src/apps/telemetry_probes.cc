@@ -12,6 +12,7 @@
 #include "hw/device.h"
 #include "lustre/lustre.h"
 #include "rados/rados.h"
+#include "sim/fault_plan.h"
 #include "sim/queue_station.h"
 #include "vos/target_store.h"
 
@@ -84,6 +85,17 @@ void netProbes(Telemetry& t, hw::Cluster& cluster) {
   t.addProbe("net/rpc_resp_per_s", Kind::kRate, [&cluster] {
     return static_cast<double>(cluster.rpcResponses());
   });
+  // Retry-policy health (flat zero unless a fault plan / retry policy is
+  // active — see net::sendWithRetry, hw::Cluster::setLinkDown).
+  t.addProbe("net/rpc_retry_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.rpcRetries());
+  });
+  t.addProbe("net/rpc_timeout_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.rpcTimeouts());
+  });
+  t.addProbe("net/send_fail_per_s", Kind::kRate, [&cluster] {
+    return static_cast<double>(cluster.sendFailures());
+  });
 }
 
 void clientNicProbes(Telemetry& t, hw::Cluster& cluster,
@@ -114,6 +126,14 @@ void registerProbes(obs::Telemetry& t, DaosTestbed& tb) {
     t.addProbe("server/ps/busy_frac", Kind::kRate,
                [&ps] { return sim::toSeconds(ps.busyTime()); });
   }
+  // Pool health: degraded-read rate and fail/exclusion gauges (flat zero
+  // on a healthy run; driven by apps::FaultInjector).
+  t.addProbe("daos/degraded_read_per_s", Kind::kRate,
+             [&sys] { return static_cast<double>(sys.degradedReads()); });
+  t.addProbe("daos/targets_failed", Kind::kGauge,
+             [&sys] { return static_cast<double>(sys.failedTargets()); });
+  t.addProbe("daos/targets_excluded", Kind::kGauge,
+             [&sys] { return static_cast<double>(sys.excludedTargets()); });
   clientNicProbes(t, tb.cluster(), tb.clients());
   std::unordered_map<hw::NodeId, std::size_t> client_index;
   for (std::size_t i = 0; i < tb.clients().size(); ++i) {
@@ -162,30 +182,7 @@ void registerProbes(obs::Telemetry& t, CephTestbed& tb) {
 }
 
 sim::Time parseDuration(const std::string& s) {
-  if (s.empty()) throw std::invalid_argument("empty duration");
-  std::size_t pos = 0;
-  double v = 0;
-  try {
-    v = std::stod(s, &pos);
-  } catch (const std::exception&) {
-    throw std::invalid_argument("bad duration: " + s);
-  }
-  const std::string unit = s.substr(pos);
-  double scale = 1;  // bare number = nanoseconds
-  if (unit == "s") {
-    scale = 1e9;
-  } else if (unit == "ms") {
-    scale = 1e6;
-  } else if (unit == "us") {
-    scale = 1e3;
-  } else if (!unit.empty() && unit != "ns") {
-    throw std::invalid_argument("bad duration unit in: " + s);
-  }
-  const double ns = v * scale;
-  if (!(ns >= 1)) {
-    throw std::invalid_argument("duration must be >= 1ns: " + s);
-  }
-  return static_cast<sim::Time>(ns);
+  return sim::parseDuration(s);  // canonical parser (sim/fault_plan.h)
 }
 
 std::string telemetryEnvFile() {

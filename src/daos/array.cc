@@ -67,11 +67,12 @@ sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
                               obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        data.size(), op);
+                        data.size(), rp, op);
   co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
                                std::move(data), op);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, op);
 }
 
 /// One extent-read RPC to a pool-global target.
@@ -81,11 +82,13 @@ sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
                                 std::uint64_t length, obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        0, op);
+                        0, rp, op);
   vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
                                                offset, length, op);
-  co_await net::respond(cluster, engine->node(), client->node(), p.size(), op);
+  co_await net::respond(cluster, engine->node(), client->node(), p.size(), rp,
+                        op);
   co_return p;
 }
 
@@ -96,11 +99,12 @@ sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
                                 std::uint64_t new_size, obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        0, op);
+                        0, rp, op);
   co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size,
                                       op);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, op);
 }
 
 sim::Task<void> fetchInto(Client* client, vos::ContId cont, ObjectId oid,
@@ -137,11 +141,12 @@ sim::Task<void> metaPutOp(Client* client, vos::ContId cont, ObjectId oid,
                           int target, vos::Payload meta) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        meta.size());
+                        meta.size(), rp);
   co_await engine->valuePut(local, cont, oid, kMetaDkey, "0",
                             std::move(meta));
-  co_await net::respond(cluster, engine->node(), client->node(), 0);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp);
 }
 
 }  // namespace
@@ -170,22 +175,24 @@ sim::Task<Array> Array::create(Client& client, Container cont, ObjectId oid,
 sim::Task<Array> Array::open(Client& client, Container cont, ObjectId oid) {
   placement::Layout layout = client.system().layout(oid);
   hw::Cluster& cluster = client.system().cluster();
+  const net::RetryPolicy& rp = client.system().config().rpc_retry;
   // Try the group-0 members in order (metadata is replicated across them).
   for (int m = 0; m < layout.group_size; ++m) {
     auto [engine, local] =
         client.system().locateTarget(layout.target(0, m));
     try {
       co_await net::request(cluster, client.node(), engine->node(),
-                            0);
+                            0, rp);
       Engine::GetResult r =
           co_await engine->valueGet(local, cont.id, oid, kMetaDkey, "0");
       co_await net::respond(cluster, engine->node(), client.node(),
-                            r.value.size());
+                            r.value.size(), rp);
       if (r.found) {
         co_return Array(client, std::move(cont), oid, decodeAttrs(r.value));
       }
     } catch (const hw::DeviceFailed&) {
       if (m + 1 == layout.group_size) throw;
+      client.system().noteDegradedRead();
     }
   }
   throw std::runtime_error("Array::open: no such array");
@@ -342,6 +349,7 @@ sim::Task<void> Array::readSegInto(std::uint64_t chunk, int group,
     degraded = true;  // co_await is not allowed inside a handler
   }
   if (degraded) {
+    client_->system().noteDegradedRead();
     vos::Payload full = co_await readCellDegraded(chunk, group, cell_idx, op);
     const std::uint64_t cell = ecCellLen();
     out->data =
@@ -365,6 +373,7 @@ sim::Task<vos::Payload> Array::readPiece(std::uint64_t chunk,
                                    in_chunk, length, op);
       } catch (const hw::DeviceFailed&) {
         if (r + 1 == spec.replicas) throw;
+        client_->system().noteDegradedRead();
       }
     }
   }
@@ -439,11 +448,12 @@ sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out,
                                      obs::OpId op) {
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
+  const net::RetryPolicy& rp = client_->system().config().rpc_retry;
   co_await net::request(cluster, client_->node(), engine->node(),
-                        0, op);
+                        0, rp, op);
   *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
                                         attrs_.chunk_size, op);
-  co_await net::respond(cluster, engine->node(), client_->node(), 16, op);
+  co_await net::respond(cluster, engine->node(), client_->node(), 16, rp, op);
 }
 
 sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
@@ -455,6 +465,7 @@ sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
       co_return;
     } catch (const hw::DeviceFailed&) {
       if (r + 1 == replicas.size()) throw;
+      client_->system().noteDegradedRead();
     }
   }
 }
@@ -515,15 +526,16 @@ sim::Task<void> Array::setSize(std::uint64_t size) {
   const int target = layout_.target(group, member);
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
+  const net::RetryPolicy& rp = client_->system().config().rpc_retry;
   co_await net::request(cluster, client_->node(), engine->node(),
-                        0);
+                        0, rp);
   {
     Target& t = engine->target(local);
     co_await t.xstream().exec(engine->config().engine.rpc_cpu);
     co_await t.device().write(engine->config().engine.wal_bytes);
     t.store().extentTruncate(cont, oid, dkey, "0", in_chunk_end);
   }
-  co_await net::respond(cluster, engine->node(), client_->node(), 0);
+  co_await net::respond(cluster, engine->node(), client_->node(), 0, rp);
 }
 
 }  // namespace daosim::daos

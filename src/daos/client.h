@@ -89,7 +89,7 @@ class Client {
     auto [engine, local] = system_->locateTarget(global_target);
     (void)local;
     co_await net::request(system_->cluster(), node_, engine->node(),
-                          request_bytes, op);
+                          request_bytes, system_->config().rpc_retry, op);
   }
 
   /// Response leg from a pool-global target back to this client.
@@ -99,7 +99,7 @@ class Client {
     auto [engine, local] = system_->locateTarget(global_target);
     (void)local;
     co_await net::respond(system_->cluster(), engine->node(), node_,
-                          response_bytes, op);
+                          response_bytes, system_->config().rpc_retry, op);
   }
 
   /// Opens an observability span for a client-API op on this client's

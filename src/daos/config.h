@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "net/retry.h"
 #include "sim/time.h"
 
 namespace daosim::daos {
@@ -45,6 +46,12 @@ struct DaosConfig {
   PoolServiceCost pool_service;
   /// Default array chunk size, as in libdaos (1 MiB throughout the paper).
   std::uint64_t default_chunk_size = 1 << 20;
+  /// Client data-path RPC retry/timeout policy. Disabled by default
+  /// (infinite patience, failures surface immediately), which keeps every
+  /// RPC on the zero-retry fast path — bit-identical to the
+  /// pre-fault-injection timing the conformance suite pins. daosim_run
+  /// enables RetryPolicy::chaosDefault() when --faults is non-empty.
+  net::RetryPolicy rpc_retry;
 };
 
 }  // namespace daosim::daos

@@ -18,11 +18,12 @@ sim::Task<void> putReplicaOp(Client* client, vos::ContId cont, ObjectId oid,
                              obs::OpId op) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        key.size() + value.size(), op);
+                        key.size() + value.size(), rp, op);
   co_await engine->valuePut(local, cont, oid, std::move(key), kValueAkey,
                             std::move(value), op);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, op);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, op);
 }
 
 /// Remove the key from one replica target.
@@ -30,10 +31,11 @@ sim::Task<void> removeReplicaOp(Client* client, vos::ContId cont,
                                 ObjectId oid, int target, std::string key) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        key.size());
+                        key.size(), rp);
   co_await engine->valueRemove(local, cont, oid, std::move(key), kValueAkey);
-  co_await net::respond(cluster, engine->node(), client->node(), 0);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp);
 }
 
 /// Enumerate one group's keys into *out.
@@ -41,12 +43,13 @@ sim::Task<void> listGroupOp(Client* client, vos::ContId cont, ObjectId oid,
                             int target, std::vector<std::string>* out) {
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
+  const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
-                        0);
+                        0, rp);
   *out = co_await engine->listDkeys(local, cont, oid);
   std::uint64_t bytes = 0;
   for (const auto& k : *out) bytes += k.size() + 16;
-  co_await net::respond(cluster, engine->node(), client->node(), bytes);
+  co_await net::respond(cluster, engine->node(), client->node(), bytes, rp);
 }
 
 }  // namespace
@@ -72,21 +75,23 @@ sim::Task<std::optional<vos::Payload>> KeyValue::get(std::string key) {
   auto span = client_->beginOp("kv.get");
   const int group = placement::dkeyGroup(layout_, key);
   hw::Cluster& cluster = client_->system().cluster();
+  const net::RetryPolicy& rp = client_->system().config().rpc_retry;
 
   for (int r = 0; r < layout_.group_size; ++r) {
     auto [engine, local] =
         client_->system().locateTarget(layout_.target(group, r));
     try {
       co_await net::request(cluster, client_->node(), engine->node(),
-                            key.size(), span.id());
+                            key.size(), rp, span.id());
       Engine::GetResult g = co_await engine->valueGet(
           local, cont_.id, oid_, key, kValueAkey, span.id());
       co_await net::respond(cluster, engine->node(), client_->node(),
-                            g.value.size(), span.id());
+                            g.value.size(), rp, span.id());
       if (!g.found) co_return std::nullopt;
       co_return std::move(g.value);
     } catch (const hw::DeviceFailed&) {
       if (r + 1 == layout_.group_size) throw;
+      client_->system().noteDegradedRead();
     }
   }
   co_return std::nullopt;

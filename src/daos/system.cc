@@ -22,21 +22,37 @@ DaosSystem::DaosSystem(hw::Cluster& cluster,
 }
 
 void DaosSystem::excludeTarget(int global) {
-  alive_[static_cast<std::size_t>(global)] = 0;
+  auto& slot = alive_[static_cast<std::size_t>(global)];
+  if (slot != 0) {
+    slot = 0;
+    ++excluded_targets_;
+  }
 }
 
 void DaosSystem::reintegrateTarget(int global) {
-  alive_[static_cast<std::size_t>(global)] = 1;
+  auto& slot = alive_[static_cast<std::size_t>(global)];
+  if (slot == 0) {
+    slot = 1;
+    --excluded_targets_;
+  }
 }
 
 void DaosSystem::failTarget(int global) {
   auto [engine, local] = locateTarget(global);
-  engine->target(local).device().fail();
+  auto& device = engine->target(local).device();
+  if (!device.failed()) {
+    device.fail();
+    ++failed_targets_;
+  }
 }
 
 void DaosSystem::recoverTarget(int global) {
   auto [engine, local] = locateTarget(global);
-  engine->target(local).device().recover();
+  auto& device = engine->target(local).device();
+  if (device.failed()) {
+    device.recover();
+    --failed_targets_;
+  }
 }
 
 std::uint64_t DaosSystem::bytesStored() const {

@@ -66,12 +66,25 @@ class DaosSystem {
   /// Total user bytes held across all targets (space accounting tests).
   std::uint64_t bytesStored() const;
 
+  // --- health accounting (fault injection / telemetry) ------------------
+  /// Called by Array/KeyValue when a read falls back to a surviving
+  /// replica or an EC reconstruction because the primary's device failed.
+  void noteDegradedRead() noexcept { ++degraded_reads_; }
+  std::uint64_t degradedReads() const noexcept { return degraded_reads_; }
+  /// Targets whose device is currently failed / currently excluded from
+  /// the pool map (gauges daos/targets_failed, daos/targets_excluded).
+  int failedTargets() const noexcept { return failed_targets_; }
+  int excludedTargets() const noexcept { return excluded_targets_; }
+
  private:
   hw::Cluster* cluster_;
   DaosConfig cfg_;
   std::vector<std::unique_ptr<Engine>> engines_;
   std::unique_ptr<PoolService> pool_service_;
   std::vector<std::uint8_t> alive_;
+  std::uint64_t degraded_reads_ = 0;
+  int failed_targets_ = 0;
+  int excluded_targets_ = 0;
 };
 
 }  // namespace daosim::daos

@@ -8,6 +8,7 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,15 @@
 namespace daosim::hw {
 
 using NodeId = int;
+
+/// Thrown by Cluster::send when an endpoint's NIC is administratively down
+/// (fault injection): the attempt is charged one fabric latency and then
+/// fails. net::sendWithRetry treats this as a transient, retryable fault.
+class NetworkDown : public std::runtime_error {
+ public:
+  explicit NetworkDown(const std::string& what)
+      : std::runtime_error("network down: " + what) {}
+};
 
 class Node {
  public:
@@ -103,6 +113,14 @@ class Cluster {
   /// category `cat` on the sender's "net" track.
   sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes,
                        obs::OpId op = 0, obs::Cat cat = obs::Cat::kOther) {
+    // A flapped NIC drops the message after one fabric latency (loopback
+    // does not traverse the NIC). Messages already past this check when
+    // the link goes down complete normally — they are on the wire.
+    if (src != dst && (linkDown(src) || linkDown(dst))) {
+      ++send_failures_;
+      co_await sim_->delay(fabric_.latency);
+      throw NetworkDown("node" + std::to_string(linkDown(src) ? src : dst));
+    }
     messages_ += 1;
     bytes_sent_ += bytes;
     if (cat == obs::Cat::kNetRequest) ++rpc_requests_;
@@ -147,6 +165,29 @@ class Cluster {
   std::uint64_t rpcRequests() const noexcept { return rpc_requests_; }
   std::uint64_t rpcResponses() const noexcept { return rpc_responses_; }
 
+  // --- fault injection (see sim/fault_plan.h, net/retry.h) ------------
+  /// Administratively takes a node's NIC down/up (fault-plan flaps). The
+  /// state vector is allocated lazily, so clusters that never flap pay
+  /// one empty-vector check per send.
+  void setLinkDown(NodeId id, bool down) {
+    if (link_down_.size() < nodes_.size()) link_down_.resize(nodes_.size(), 0);
+    link_down_[static_cast<std::size_t>(id)] = down ? 1 : 0;
+  }
+  bool linkDown(NodeId id) const noexcept {
+    return static_cast<std::size_t>(id) < link_down_.size() &&
+           link_down_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// Retry accounting, incremented by net::sendWithRetry and sampled by
+  /// telemetry (net/rpc_retry_per_s, net/rpc_timeout_per_s,
+  /// net/send_fail_per_s).
+  void noteRpcRetry() noexcept { ++rpc_retries_; }
+  void noteRpcTimeout() noexcept { ++rpc_timeouts_; }
+  std::uint64_t rpcRetries() const noexcept { return rpc_retries_; }
+  std::uint64_t rpcTimeouts() const noexcept { return rpc_timeouts_; }
+  /// Sends dropped on a downed link.
+  std::uint64_t sendFailures() const noexcept { return send_failures_; }
+
  private:
   void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started) {
     --inflight_sends_;
@@ -166,6 +207,10 @@ class Cluster {
   sim::Time send_ns_ = 0;
   std::uint64_t rpc_requests_ = 0;
   std::uint64_t rpc_responses_ = 0;
+  std::vector<std::uint8_t> link_down_;  // empty until the first flap
+  std::uint64_t rpc_retries_ = 0;
+  std::uint64_t rpc_timeouts_ = 0;
+  std::uint64_t send_failures_ = 0;
 };
 
 }  // namespace daosim::hw

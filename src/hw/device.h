@@ -62,9 +62,25 @@ class NvmeDevice {
     throwIfFailed();
   }
 
+  // Failure semantics ("fail-at-dequeue"): fail() takes effect immediately
+  // for new submissions (throwIfFailed at op entry) AND for ops already in
+  // flight — each op re-checks when its completion event is dequeued, so an
+  // op queued before the failure still observes it. At the exact fail
+  // timestamp the outcome follows the kernel's FIFO (time, seq) order: a
+  // completion event scheduled before the fail event resumes first and the
+  // op succeeds; one scheduled after observes the failure. Spawn order
+  // therefore fully determines the outcome — there is no nondeterminism at
+  // the boundary (covered by tests/hw_test.cc).
   void fail() noexcept { failed_ = true; }
   void recover() noexcept { failed_ = false; }
   bool failed() const noexcept { return failed_; }
+
+  /// Scales both the sustained service time and the completion latency of
+  /// subsequent ops by `f` (>= 1; 1.0 restores full speed). Fault plans use
+  /// this to model a degraded ("gray failure") device. Values below 1 clamp
+  /// to 1.
+  void setSlowdown(double f) noexcept { slowdown_ = f < 1.0 ? 1.0 : f; }
+  double slowdown() const noexcept { return slowdown_; }
 
   const NvmeSpec& spec() const noexcept { return spec_; }
   const std::string& name() const noexcept { return name_; }
@@ -89,6 +105,12 @@ class NvmeDevice {
  private:
   sim::Task<void> io(sim::Time service, sim::Time completion_latency,
                      obs::OpId op) {
+    if (slowdown_ != 1.0) {  // gated so the default path stays bit-exact
+      service = static_cast<sim::Time>(static_cast<double>(service) *
+                                       slowdown_);
+      completion_latency = static_cast<sim::Time>(
+          static_cast<double>(completion_latency) * slowdown_);
+    }
     const sim::Time now = sim_->now();
     virtual_end_ = std::max(virtual_end_, now) + service;
     busy_ += service;
@@ -127,6 +149,7 @@ class NvmeDevice {
   obs::TrackId track_ = 0;
   std::uint64_t track_epoch_ = 0;
   bool failed_ = false;
+  double slowdown_ = 1.0;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;
   std::uint64_t write_ops_ = 0;

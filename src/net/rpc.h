@@ -21,6 +21,7 @@
 #include <cstdint>
 
 #include "hw/cluster.h"
+#include "net/retry.h"
 #include "obs/observer.h"
 #include "sim/task.h"
 
@@ -48,6 +49,37 @@ inline sim::Task<void> respond(hw::Cluster& cluster, hw::NodeId src,
                                obs::OpId op = 0) {
   co_await cluster.send(src, dst, payload_bytes + kSmallResponse, op,
                         obs::Cat::kNetResponse);
+}
+
+// ---- retrying variants (fault-injection robustness layer) ----------------
+//
+// One send attempt with `policy` semantics: a per-attempt timeout races the
+// transfer (the losing transfer keeps charging the wire — the message is
+// already in flight, only the caller's wait is bounded), failed/timed-out
+// attempts are resent after a capped exponential backoff with half-jitter
+// from the kernel PRNG, and an exhausted budget surfaces RetryExhausted.
+// Only transient network faults (hw::NetworkDown, timeouts) are retried;
+// anything else propagates immediately. With a disabled policy this is
+// exactly one `co_await cluster.send(...)` — the zero-retry fast path the
+// conformance suite pins byte-for-byte.
+sim::Task<void> sendWithRetry(hw::Cluster* cluster, hw::NodeId src,
+                              hw::NodeId dst, std::uint64_t wire_bytes,
+                              RetryPolicy policy, obs::OpId op, obs::Cat cat);
+
+/// Request leg under a retry policy (header added here, as above).
+inline sim::Task<void> request(hw::Cluster& cluster, hw::NodeId src,
+                               hw::NodeId dst, std::uint64_t payload_bytes,
+                               RetryPolicy policy, obs::OpId op = 0) {
+  return sendWithRetry(&cluster, src, dst, payload_bytes + kSmallRequest,
+                       policy, op, obs::Cat::kNetRequest);
+}
+
+/// Response leg under a retry policy.
+inline sim::Task<void> respond(hw::Cluster& cluster, hw::NodeId src,
+                               hw::NodeId dst, std::uint64_t payload_bytes,
+                               RetryPolicy policy, obs::OpId op = 0) {
+  return sendWithRetry(&cluster, src, dst, payload_bytes + kSmallResponse,
+                       policy, op, obs::Cat::kNetResponse);
 }
 
 }  // namespace daosim::net

@@ -113,6 +113,126 @@ TEST(NvmeDevice, FailureInjection) {
   EXPECT_FALSE(dev.failed());
 }
 
+// Fail-at-dequeue semantics (documented on NvmeDevice::fail): at the exact
+// fail timestamp the outcome follows the kernel's FIFO (time, seq) order,
+// i.e. spawn order. A 0-byte read completes at exactly read_latency (15us
+// with the default spec), so scheduling fail() at that same instant probes
+// the boundary deterministically.
+TEST(NvmeDevice, FailAtExactCompletionTimestampFollowsSpawnOrder) {
+  const hw::NvmeSpec spec;
+  const Time completion = spec.read_latency;  // 0-byte read: latency only
+
+  auto reader = [](hw::NvmeDevice& d, bool& threw) -> Task<void> {
+    try {
+      co_await d.read(0);
+    } catch (const hw::DeviceFailed&) {
+      threw = true;
+    }
+  };
+  auto failer = [](sim::Simulation& sm, hw::NvmeDevice& d,
+                   Time at) -> Task<void> {
+    co_await sm.delay(at);
+    d.fail();
+  };
+
+  {
+    // Reader spawned first: its completion event dequeues before the fail
+    // event with the same timestamp -> the op succeeds.
+    sim::Simulation sim;
+    hw::NvmeDevice dev(sim, spec, "d0");
+    bool threw = false;
+    sim.spawn(reader(dev, threw));
+    sim.spawn(failer(sim, dev, completion));
+    sim.run();
+    EXPECT_EQ(sim.now(), completion);
+    EXPECT_FALSE(threw);
+  }
+  {
+    // Failer spawned first: fail() runs before the queued op's completion
+    // dequeues at the same timestamp -> the op observes the failure.
+    sim::Simulation sim;
+    hw::NvmeDevice dev(sim, spec, "d0");
+    bool threw = false;
+    sim.spawn(failer(sim, dev, completion));
+    sim.spawn(reader(dev, threw));
+    sim.run();
+    EXPECT_EQ(sim.now(), completion);
+    EXPECT_TRUE(threw);
+  }
+}
+
+TEST(NvmeDevice, SlowdownScalesServiceAndLatency) {
+  {
+    // Baseline: a 0-byte read completes at exactly read_latency.
+    sim::Simulation sim;
+    hw::NvmeDevice dev(sim, hw::NvmeSpec{}, "d0");
+    sim.spawn([](hw::NvmeDevice& d) -> Task<void> { co_await d.read(0); }(dev));
+    sim.run();
+    EXPECT_EQ(sim.now(), hw::NvmeSpec{}.read_latency);
+  }
+  {
+    sim::Simulation sim;
+    hw::NvmeDevice dev(sim, hw::NvmeSpec{}, "d0");
+    dev.setSlowdown(2.0);
+    sim.spawn([](hw::NvmeDevice& d) -> Task<void> { co_await d.read(0); }(dev));
+    sim.run();
+    EXPECT_EQ(sim.now(), 2 * hw::NvmeSpec{}.read_latency);
+  }
+  {
+    // x1 restores full speed; sub-1 factors clamp to 1.
+    sim::Simulation sim;
+    hw::NvmeDevice dev(sim, hw::NvmeSpec{}, "d0");
+    dev.setSlowdown(8.0);
+    dev.setSlowdown(1.0);
+    EXPECT_EQ(dev.slowdown(), 1.0);
+    dev.setSlowdown(0.25);
+    EXPECT_EQ(dev.slowdown(), 1.0);
+    sim.spawn([](hw::NvmeDevice& d) -> Task<void> { co_await d.read(0); }(dev));
+    sim.run();
+    EXPECT_EQ(sim.now(), hw::NvmeSpec{}.read_latency);
+  }
+}
+
+TEST(Cluster, LinkDownFailsSendsAfterOneFabricLatency) {
+  sim::Simulation sim;
+  hw::Cluster cluster(sim);
+  auto a = cluster.addNode(hw::NodeSpec::client());
+  auto b = cluster.addNode(hw::NodeSpec::client());
+  cluster.setLinkDown(b, true);
+  bool threw = false;
+  sim.spawn([](hw::Cluster& c, hw::NodeId s, hw::NodeId d,
+               bool& t) -> Task<void> {
+    try {
+      co_await c.send(s, d, kMiB);
+    } catch (const hw::NetworkDown&) {
+      t = true;
+    }
+  }(cluster, a, b, threw));
+  sim.run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(sim.now(), cluster.fabric().latency);
+  EXPECT_EQ(cluster.sendFailures(), 1u);
+  EXPECT_EQ(cluster.messages(), 0u);
+
+  // Loopback never traverses the NIC, downed or not.
+  cluster.setLinkDown(a, true);
+  bool loopback_ok = true;
+  sim.spawn([](hw::Cluster& c, hw::NodeId n, bool& ok) -> Task<void> {
+    try {
+      co_await c.send(n, n, kMiB);
+    } catch (const hw::NetworkDown&) {
+      ok = false;
+    }
+  }(cluster, a, loopback_ok));
+  sim.run();
+  EXPECT_TRUE(loopback_ok);
+
+  cluster.setLinkDown(a, false);
+  cluster.setLinkDown(b, false);
+  EXPECT_FALSE(cluster.linkDown(a));
+  EXPECT_FALSE(cluster.linkDown(b));
+}
+
 TEST(Cluster, PointToPointBandwidthMatchesNic) {
   // iperf-style: one stream of large messages; expect ~6.25 GiB/s.
   sim::Simulation sim;

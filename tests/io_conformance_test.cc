@@ -15,10 +15,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "apps/fault_injector.h"
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
@@ -26,6 +29,8 @@
 #include "apps/testbed.h"
 #include "io/backend.h"
 #include "io/submit_queue.h"
+#include "net/retry.h"
+#include "sim/fault_plan.h"
 #include "vos/payload.h"
 
 namespace daosim {
@@ -305,6 +310,59 @@ TEST(IoFrozenNumbers, FieldIoAndFdbMatchPreRefactorSeed) {
     expectPhase("fdb.read", r.read(),
                 {20971520, 80, 6082598, 298812, 352256, 362647});
   }
+}
+
+// --- 3b. fault machinery off == fault machinery absent --------------------
+
+void expectPhaseBitIdentical(const std::string& label,
+                             const apps::PhaseResult& got,
+                             const apps::PhaseResult& want) {
+  EXPECT_EQ(got.bytes, want.bytes) << label;
+  EXPECT_EQ(got.ops, want.ops) << label;
+  EXPECT_EQ(got.first_start, want.first_start) << label;
+  EXPECT_EQ(got.last_end, want.last_end) << label;
+  EXPECT_EQ(got.latency.count(), want.latency.count()) << label;
+  EXPECT_EQ(got.latency.min(), want.latency.min()) << label;
+  EXPECT_EQ(got.latency.max(), want.latency.max()) << label;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    ASSERT_EQ(got.latency.bucketCount(i), want.latency.bucketCount(i))
+        << label << " bucket " << i;
+  }
+}
+
+/// An installed-but-empty FaultPlan and an explicitly disabled RetryPolicy
+/// must take the zero-retry fast path everywhere: the full frozen IOR run
+/// (event schedule, clock, per-op latency histogram) is bit-identical to a
+/// run with no fault machinery at all.
+TEST(IoFrozenNumbers, EmptyFaultPlanIsBitIdenticalToPlanFreeRun) {
+  auto run = [](bool with_fault_machinery) {
+    apps::DaosTestbed::Options opt = frozenDaos();
+    if (with_fault_machinery) {
+      opt.daos.rpc_retry = net::RetryPolicy{};  // disabled, explicitly
+    }
+    apps::DaosTestbed tb(opt);
+    std::optional<apps::FaultInjector> inj;
+    if (with_fault_machinery) {
+      inj.emplace(tb, sim::FaultPlan{});
+      inj->install();
+    }
+    apps::Ior bench(tb.ioEnv(), "daos-array", frozenIor());
+    apps::RunResult r =
+        apps::runSpmd(tb.sim(), tb.clientSubset(2), 2, bench);
+    if (inj) {
+      inj->rethrowIfFailed();
+      EXPECT_EQ(inj->stats().events_applied, 0u);
+    }
+    EXPECT_EQ(tb.cluster().rpcRetries(), 0u);
+    EXPECT_EQ(tb.cluster().rpcTimeouts(), 0u);
+    return std::make_pair(r, tb.sim().now());
+  };
+  const auto [plain, plain_now] = run(false);
+  const auto [chaos, chaos_now] = run(true);
+  EXPECT_EQ(plain_now, chaos_now);
+  EXPECT_EQ(plain.procs, chaos.procs);
+  expectPhaseBitIdentical("emptyplan.write", chaos.write(), plain.write());
+  expectPhaseBitIdentical("emptyplan.read", chaos.read(), plain.read());
 }
 
 // --- 4. queue depth ------------------------------------------------------

@@ -6,17 +6,25 @@
 // and byte-identical hub dumps for serial vs parallel sweeps.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "apps/fault_injector.h"
+#include "apps/telemetry_probes.h"
+#include "apps/testbed.h"
+#include "daos/array.h"
+#include "daos/client.h"
 #include "obs/telemetry.h"
 #include "obs/telemetry_reader.h"
+#include "sim/fault_plan.h"
 #include "sim/parallel.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 #include "sim/time.h"
+#include "vos/payload.h"
 
 namespace daosim {
 namespace {
@@ -292,6 +300,63 @@ TEST(TelemetryHub, SerialAndParallelDumpsAreByteIdentical) {
   EXPECT_EQ(dump.run_intervals.size(), 4u);
   EXPECT_EQ(dump.series.count("rep/0/ops"), 1u);
   EXPECT_EQ(dump.series.count("rep/3/ops"), 1u);
+}
+
+/// Full-testbed telemetry dump with all standard probes, optionally with an
+/// installed empty-plan FaultInjector. The injector must register nothing
+/// and perturb nothing: all four combinations (with/without machinery,
+/// serial/parallel) produce byte-identical CSV.
+std::string testbedDump(int jobs, bool with_fault_machinery) {
+  obs::TelemetryHub hub;
+  sim::ParallelRunner pool(jobs);
+  pool.map(2, [&hub, with_fault_machinery](std::size_t rep) {
+    apps::DaosTestbed::Options opt;
+    opt.server_nodes = 2;
+    opt.client_nodes = 1;
+    opt.seed = 7 + rep;
+    opt.with_dfuse = false;
+    apps::DaosTestbed tb(opt);
+    Telemetry t(1_ms);
+    apps::registerProbes(t, tb);
+    std::optional<apps::FaultInjector> inj;
+    if (with_fault_machinery) {
+      inj.emplace(tb, sim::FaultPlan{});
+      inj->registerTelemetry(t);
+      inj->install();
+    }
+    t.attach(tb.sim());
+    daos::Client client(tb.daos(), tb.clients()[0], 42);
+    struct Work {
+      static Task<void> run(daos::Client* c, daos::Container cont,
+                            std::uint64_t rep) {
+        daos::Array a = co_await daos::Array::create(
+            *c, cont, c->nextOid(placement::ObjClass::RP_2G1),
+            {.cell_size = 1, .chunk_size = 1 << 20});
+        for (std::uint64_t i = 0; i < 4 + rep; ++i) {
+          co_await a.write(i * hw::kMiB, vos::Payload::synthetic(hw::kMiB));
+        }
+        (void)co_await a.read(0, hw::kMiB);
+      }
+    };
+    tb.sim().spawn(Work::run(&client, tb.container(), rep));
+    tb.sim().run();
+    hub.add("rep/" + std::to_string(rep), std::move(t));
+    return 0;
+  });
+  std::ostringstream os;
+  hub.writeCsv(os);
+  return os.str();
+}
+
+TEST(TelemetryHub, EmptyFaultPlanDumpsAreByteIdenticalSerialAndParallel) {
+  const std::string plain = testbedDump(1, false);
+  EXPECT_EQ(plain, testbedDump(1, true));
+  EXPECT_EQ(plain, testbedDump(2, true));
+  EXPECT_EQ(plain, testbedDump(2, false));
+  // The machinery-off dump has no fault series at all, and the pool-health
+  // gauges it does always export sit flat at zero.
+  EXPECT_EQ(plain.find("faults/"), std::string::npos);
+  EXPECT_NE(plain.find("rep/0/daos/targets_failed"), std::string::npos);
 }
 
 TEST(TelemetryHub, DuplicateLabelKeepsFirstRegistry) {

@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "apps/fault_injector.h"
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
@@ -71,6 +72,9 @@ struct Options {
   std::string metrics_file;    // --metrics / DAOSIM_METRICS
   std::string telemetry_file;  // --telemetry / DAOSIM_TELEMETRY
   sim::Time telemetry_interval = 0;  // 0 = DAOSIM_TELEMETRY_INTERVAL / 10ms
+  std::string faults;           // --faults: sim::FaultPlan spec (daos only)
+  sim::Time rpc_timeout = 0;    // --rpc-timeout: per-attempt RPC timeout
+  int rpc_retries = -1;         // --rpc-retries: retry budget (-1 = default)
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -90,6 +94,7 @@ struct Options {
       "          [--write-only | --read-only]\n"
       "          [--trace FILE] [--metrics FILE]\n"
       "          [--telemetry FILE] [--telemetry-interval DUR]\n"
+      "          [--faults SPEC] [--rpc-timeout DUR] [--rpc-retries N]\n"
       "Backends: --api picks an io::Backend by registry name; --system is\n"
       "inferred from it (and vice versa: --system alone picks that system's\n"
       "default backend). --queue-depth N keeps up to N IOR transfers in\n"
@@ -109,7 +114,16 @@ struct Options {
       "writes one schema-versioned dump (CSV, or JSON for .json files)\n"
       "that daosim_metrics turns into a bottleneck report. With --stats\n"
       "the report is also printed here. DAOSIM_TELEMETRY /\n"
-      "DAOSIM_TELEMETRY_INTERVAL env vars are fallbacks.\n",
+      "DAOSIM_TELEMETRY_INTERVAL env vars are fallbacks.\n"
+      "Fault injection (--system daos): --faults takes a plan like\n"
+      "\"slow@40ms:t7,x8;flap@120ms:n5,15ms;exclude@200ms:t3\" or\n"
+      "\"random:seed=7,events=6,horizon=300ms\" (grammar in\n"
+      "sim/fault_plan.h); the same plan replays at every repetition.\n"
+      "A non-empty plan enables the client RPC retry policy\n"
+      "(net::RetryPolicy::chaosDefault(), tunable with --rpc-timeout /\n"
+      "--rpc-retries); chaos counters land under net/rpc_retry_per_s,\n"
+      "net/rpc_timeout_per_s, daos/degraded_read_per_s and faults/* in the\n"
+      "--telemetry dump, and --stats prints a fault injection summary.\n",
       argv0, apis.c_str());
   std::exit(2);
 }
@@ -217,6 +231,12 @@ Options parse(int argc, char** argv) {
       o.telemetry_file = value();
     } else if (arg == "--telemetry-interval") {
       o.telemetry_interval = apps::parseDuration(value());
+    } else if (arg == "--faults") {
+      o.faults = value();
+    } else if (arg == "--rpc-timeout") {
+      o.rpc_timeout = apps::parseDuration(value());
+    } else if (arg == "--rpc-retries") {
+      o.rpc_retries = std::atoi(value());
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage(argv[0]);
@@ -227,6 +247,9 @@ Options parse(int argc, char** argv) {
     usage(argv[0]);
   }
   resolveApiAndSystem(o);
+  if (!o.faults.empty() && o.system != "daos") {
+    throw std::invalid_argument("--faults requires --system daos");
+  }
   if (o.trace_file.empty()) {
     if (const char* v = std::getenv("DAOSIM_TRACE")) o.trace_file = v;
   }
@@ -279,8 +302,8 @@ apps::FdbConfig fdbConfig(const Options& o) {
 /// backend-neutral.
 template <typename Testbed>
 apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
-                         obs::Observer* observer,
-                         const std::string& run_label) {
+                         obs::Observer* observer, const std::string& run_label,
+                         apps::FaultInjector* injector = nullptr) {
   const sim::Time t0 = tb.sim().now();
   // Scoped: the registry detaches and lands in TelemetryHub::global()
   // (keyed by the deterministic rep label) before the testbed dies.
@@ -288,7 +311,11 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
                                  !o.telemetry_file.empty(),
                                  o.telemetry_interval);
   if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
+  if (telem.active() && injector != nullptr) {
+    injector->registerTelemetry(telem.telemetry());
+  }
   if (observer != nullptr) observer->attach(tb.sim());
+  if (injector != nullptr) injector->install();
   apps::RunResult r;
   if (o.bench == "ior") {
     apps::Ior bench(tb.ioEnv(), o.api, iorConfig(o));
@@ -305,6 +332,10 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
   } else {
     throw std::invalid_argument("unknown --bench: " + o.bench);
   }
+  if (injector != nullptr) {
+    injector->rethrowIfFailed();
+    if (stats) injector->writeSummary(std::cout);
+  }
   if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
   if (observer != nullptr) {
     if (stats) observer->writeBreakdown(std::cout);
@@ -319,8 +350,29 @@ apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
   opt.server_nodes = o.servers;
   opt.client_nodes = o.clients;
   opt.seed = seed;
+  sim::FaultPlan plan;
+  if (!o.faults.empty()) {
+    sim::FaultTopology topo;
+    topo.engines = o.servers;
+    topo.targets = o.servers * opt.daos.targets_per_engine;
+    topo.nodes = o.servers + o.clients;
+    plan = sim::FaultPlan::parse(o.faults, topo);
+  }
+  const bool chaos =
+      !plan.empty() || o.rpc_timeout > 0 || o.rpc_retries >= 0;
+  if (chaos) {
+    // A non-empty plan (or explicit retry flags) switches the client data
+    // path onto the retry policy; otherwise the disabled default keeps the
+    // zero-retry fast path bit-identical to a plan-free run.
+    opt.daos.rpc_retry = net::RetryPolicy::chaosDefault();
+    if (o.rpc_timeout > 0) opt.daos.rpc_retry.timeout = o.rpc_timeout;
+    if (o.rpc_retries >= 0) opt.daos.rpc_retry.max_retries = o.rpc_retries;
+  }
   apps::DaosTestbed tb(opt);
-  return runBench(o, tb, stats, observer, label);
+  std::optional<apps::FaultInjector> injector;
+  if (!plan.empty()) injector.emplace(tb, std::move(plan));
+  return runBench(o, tb, stats, observer, label,
+                  injector ? &*injector : nullptr);
 }
 
 apps::RunResult runLustre(const Options& o, std::uint64_t seed, bool stats,
