@@ -72,6 +72,10 @@ def main() -> int:
     for entry in baseline["benchmarks"]:
         name = entry["name"]
         want = float(entry["after"]) * 1e6  # baseline unit is M items/s
+        # A baseline entry may carry its own "tolerance" to pin a number
+        # tighter (or looser) than the global budget — used to guard
+        # hard-won recoveries like the events_per_sec/64 bypass.
+        tol = float(entry.get("tolerance", args.tolerance))
         got = medians.get(name)
         if got is None:
             print(f"{name:<22} {'':>10} {'MISSING':>10}")
@@ -79,18 +83,17 @@ def main() -> int:
             continue
         delta = got / want - 1.0
         mark = ""
-        if delta < -args.tolerance:
+        if delta < -tol:
             mark = "  << REGRESSION"
             failed = True
         print(f"{name:<22} {want / 1e6:>9.1f}M {got / 1e6:>9.1f}M "
               f"{delta:>+7.1%}{mark}")
 
     if failed:
-        print(f"\nFAIL: throughput regressed more than "
-              f"{args.tolerance:.0%} below BENCH_kernel.json medians",
-              file=sys.stderr)
+        print("\nFAIL: throughput regressed below the BENCH_kernel.json "
+              "median tolerance", file=sys.stderr)
         return 1
-    print(f"\nOK: all benchmarks within {args.tolerance:.0%} of baseline")
+    print("\nOK: all benchmarks within tolerance of baseline")
     return 0
 
 

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <exception>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <string>
 
@@ -39,12 +40,20 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
   // below and "last" means last to complete, which is scheduling-dependent.
   const std::string trace_file = envFile("DAOSIM_TRACE");
   const std::string metrics_file = envFile("DAOSIM_METRICS");
+  int exemplars = 0;  // DAOSIM_EXEMPLARS: K slowest ops per type
+  if (const char* v = std::getenv("DAOSIM_EXEMPLARS")) {
+    exemplars = std::atoi(v);
+  }
   obs::Observer local;
-  const bool attach = (!trace_file.empty() || !metrics_file.empty()) &&
-                      sim.observer() == nullptr;
+  const bool attach =
+      (!trace_file.empty() || !metrics_file.empty() || exemplars > 0) &&
+      sim.observer() == nullptr;
   if (attach) {
     local.attach(sim);
     if (!trace_file.empty()) local.enableTracing();
+    if (exemplars > 0) {
+      local.enableExemplars(static_cast<std::size_t>(exemplars));
+    }
   }
 
   const int procs = static_cast<int>(nodes.size()) * procs_per_node;
@@ -82,6 +91,7 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
         local.metrics().writeCsv(f);
       }
     }
+    if (exemplars > 0) local.writeTailReport(std::cout);
     local.detach();
   }
 

@@ -52,12 +52,13 @@ int envReps(int def) {
 bool envFullGrid() { return envU64("DAOSIM_FULL_GRID", 0) != 0; }
 
 namespace {
-/// Three per-op latency percentile columns, in microseconds.
+/// Per-op latency columns (p50/p95/p99/p99.9/max), in microseconds.
 void printLatCols(std::ostream& os, const obs::Histogram& h) {
   os << std::setprecision(1);
-  for (double p : {50.0, 95.0, 99.0}) {
+  for (double p : {50.0, 95.0, 99.0, 99.9}) {
     os << std::setw(9) << static_cast<double>(h.percentile(p)) / 1e3;
   }
+  os << std::setw(9) << static_cast<double>(h.max()) / 1e3;
   os << std::setprecision(2);
 }
 }  // namespace
@@ -74,8 +75,9 @@ void printSeries(std::ostream& os, const Series& series, bool show_iops) {
        << std::setw(14) << "read GiB/s" << std::setw(9) << "+/-";
   }
   os << std::setw(9) << "w.p50us" << std::setw(9) << "w.p95" << std::setw(9)
-     << "w.p99" << std::setw(9) << "r.p50us" << std::setw(9) << "r.p95"
-     << std::setw(9) << "r.p99";
+     << "w.p99" << std::setw(9) << "w.p999" << std::setw(9) << "w.max"
+     << std::setw(9) << "r.p50us" << std::setw(9) << "r.p95" << std::setw(9)
+     << "r.p99" << std::setw(9) << "r.p999" << std::setw(9) << "r.max";
   os << "\n";
   for (const auto& m : series.points) {
     os << std::setw(8) << m.point.client_nodes << std::setw(7)

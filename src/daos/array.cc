@@ -68,11 +68,15 @@ sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   const net::RetryPolicy& rp = client->system().config().rpc_retry;
+  // Structural leg grouping this shard's request/work/response legs in the
+  // op's causal tree (the children carry the aggregate charges).
+  auto rpc = client->beginLeg(op, "rpc.extent_write");
+  const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
-                        data.size(), rp, op);
+                        data.size(), rp, rop);
   co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
-                               std::move(data), op);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, op);
+                               std::move(data), rop);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, rop);
 }
 
 /// One extent-read RPC to a pool-global target.
@@ -83,12 +87,14 @@ sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   const net::RetryPolicy& rp = client->system().config().rpc_retry;
+  auto rpc = client->beginLeg(op, "rpc.fetch");
+  const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
-                        0, rp, op);
+                        0, rp, rop);
   vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
-                                               offset, length, op);
+                                               offset, length, rop);
   co_await net::respond(cluster, engine->node(), client->node(), p.size(), rp,
-                        op);
+                        rop);
   co_return p;
 }
 
@@ -100,11 +106,13 @@ sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
   auto [engine, local] = client->system().locateTarget(target);
   hw::Cluster& cluster = client->system().cluster();
   const net::RetryPolicy& rp = client->system().config().rpc_retry;
+  auto rpc = client->beginLeg(op, "rpc.truncate");
+  const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
-                        0, rp, op);
+                        0, rp, rop);
   co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size,
-                                      op);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, op);
+                                      rop);
+  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, rop);
 }
 
 sim::Task<void> fetchInto(Client* client, vos::ContId cont, ObjectId oid,
@@ -449,11 +457,13 @@ sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out,
   auto [engine, local] = client_->system().locateTarget(target);
   hw::Cluster& cluster = client_->system().cluster();
   const net::RetryPolicy& rp = client_->system().config().rpc_retry;
+  auto rpc = client_->beginLeg(op, "rpc.probe");
+  const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client_->node(), engine->node(),
-                        0, rp, op);
+                        0, rp, rop);
   *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
-                                        attrs_.chunk_size, op);
-  co_await net::respond(cluster, engine->node(), client_->node(), 16, rp, op);
+                                        attrs_.chunk_size, rop);
+  co_await net::respond(cluster, engine->node(), client_->node(), 16, rp, rop);
 }
 
 sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,

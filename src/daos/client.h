@@ -114,6 +114,19 @@ class Client {
     return obs::OpScope(o, type, track_);
   }
 
+  /// Opens a structural leg of `op` on this client's track — one node of
+  /// the op's causal tree grouping the work launched with its ctx() (e.g.
+  /// one per-shard RPC of a fan-out). Inert when no observer is attached.
+  obs::LegScope beginLeg(obs::OpId op, const char* name) {
+    obs::Observer* o = sim().observer();
+    if (o == nullptr || obs::opSeq(op) == 0) return {};
+    if (track_epoch_ != o->epoch()) {
+      track_ = o->track(node_, "client" + std::to_string(client_id_));
+      track_epoch_ = o->epoch();
+    }
+    return obs::LegScope(o, op, name, obs::Cat::kOther, track_);
+  }
+
  private:
   DaosSystem* system_;
   hw::NodeId node_;

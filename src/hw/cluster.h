@@ -127,9 +127,19 @@ class Cluster {
     if (cat == obs::Cat::kNetResponse) ++rpc_responses_;
     ++inflight_sends_;
     const sim::Time started = sim_->now();
+    // Pre-open the "send" leg so the NIC tx/rx station legs can name it as
+    // their causal parent; the leg itself is recorded in finishSend.
+    obs::LegId send_leg = 0;
+    obs::OpId ctx = op;
+    if (op != 0) {
+      if (obs::Observer* o = sim_->observer()) {
+        send_leg = o->openLeg(op);
+        if (send_leg != 0) ctx = obs::withParent(op, send_leg);
+      }
+    }
     if (src == dst) {
       co_await sim_->delay(2 * sim::kMicrosecond);  // loopback hop
-      finishSend(src, op, cat, started);
+      finishSend(src, op, cat, started, send_leg);
       co_return;
     }
     const std::uint64_t wire = bytes + fabric_.header_bytes;
@@ -142,14 +152,17 @@ class Cluster {
     const sim::Time rx_time =
         d.spec().nic.per_message + transferTime(wire, d.spec().nic.gibps);
     auto receive = [](sim::Simulation& sm, sim::QueueStation& rx,
-                      sim::Time lat, sim::Time ser) -> sim::Task<void> {
+                      sim::Time lat, sim::Time ser, obs::OpId op,
+                      obs::Cat cat) -> sim::Task<void> {
       co_await sm.delay(lat);
-      co_await rx.exec(ser);
+      // Structure-only: the parent "send" leg carries the aggregate charge.
+      co_await rx.exec(ser, op, cat, /*nested=*/true);
     };
-    auto delivery = sim_->spawn(receive(*sim_, d.rx(), fabric_.latency, rx_time));
-    co_await s.tx().exec(tx_time);
+    auto delivery = sim_->spawn(
+        receive(*sim_, d.rx(), fabric_.latency, rx_time, ctx, cat));
+    co_await s.tx().exec(tx_time, ctx, cat, /*nested=*/true);
     co_await delivery.join();
-    finishSend(src, op, cat, started);
+    finishSend(src, op, cat, started, send_leg);
   }
 
   std::uint64_t messages() const noexcept { return messages_; }
@@ -189,12 +202,14 @@ class Cluster {
   std::uint64_t sendFailures() const noexcept { return send_failures_; }
 
  private:
-  void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started) {
+  void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started,
+                  obs::LegId leg) {
     --inflight_sends_;
     send_ns_ += sim_->now() - started;
     if (op == 0) return;
     if (obs::Observer* o = sim_->observer()) {
-      o->leg(op, cat, o->track(src, "net"), "send", started);
+      o->leg(op, cat, o->track(src, "net"), "send", started, 0,
+             obs::Cat::kServerQueue, leg);
     }
   }
 

@@ -27,6 +27,14 @@ void Observer::detach() {
 
 void Observer::enableTracing() {
   if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
+  tracing_ = true;
+}
+
+void Observer::enableExemplars(std::size_t k, std::uint32_t rep) {
+  if (reservoir_ == nullptr) {
+    reservoir_ = std::make_unique<ExemplarReservoir>(k);
+  }
+  rep_ = rep;
 }
 
 sim::Time Observer::now() const noexcept {
@@ -34,8 +42,21 @@ sim::Time Observer::now() const noexcept {
 }
 
 TrackId Observer::track(int pid, std::string_view name) {
-  enableTracing();  // tracks live in the tracer's registry
+  // The tracer hosts the track registry even when event recording is off.
+  if (tracer_ == nullptr) tracer_ = std::make_unique<Tracer>();
   return tracer_->track(pid, name);
+}
+
+TrackId Observer::reservoirTrack(TrackId t) {
+  constexpr TrackId kUnmapped = ~TrackId{0};
+  if (t >= reservoir_track_.size()) {
+    reservoir_track_.resize(tracer_->trackCount(), kUnmapped);
+  }
+  if (reservoir_track_[t] == kUnmapped) {
+    reservoir_track_[t] =
+        reservoir_->internTrack(tracer_->trackPid(t), tracer_->trackName(t));
+  }
+  return reservoir_track_[t];
 }
 
 OpId Observer::beginOp(const char* /*type*/, TrackId /*track*/) {
@@ -48,8 +69,9 @@ void Observer::endOp(OpId op, const char* type, TrackId track,
                      sim::Time start) {
   const sim::Time end = now();
   const sim::Time total = end - start;
+  const OpId seq = opSeq(op);
 
-  auto open_it = open_.find(op);
+  auto open_it = open_.find(seq);
   OpTypeAgg& agg = op_types_[type];
   ++agg.count;
   agg.latency.add(total);
@@ -60,23 +82,79 @@ void Observer::endOp(OpId op, const char* type, TrackId track,
       covered += open_it->second.cat_ns[c];
     }
     agg.cat_ns[0] += total > covered ? total - covered : 0;
+    if (reservoir_ != nullptr && tracer_ != nullptr) {
+      OpRecord rec;
+      rec.type = type;
+      rec.seq = seq;
+      rec.rep = rep_;
+      rec.track = reservoirTrack(track);
+      rec.start = start;
+      rec.dur = total;
+      rec.legs = std::move(open_it->second.legs);
+      for (TraceEvent& e : rec.legs) e.track = reservoirTrack(e.track);
+      reservoir_->offer(std::move(rec));
+    }
     open_.erase(open_it);
   } else {
     agg.cat_ns[0] += total;
   }
 
-  if (tracer_ != nullptr) tracer_->span(track, op, type, start, end);
+  if (tracing_) tracer_->span(track, seq, type, start, end);
 }
 
-void Observer::leg(OpId op, Cat cat, TrackId track, const char* name,
-                   sim::Time start) {
-  if (op == 0) return;
+LegId Observer::recordLeg(OpId op, Cat cat, TrackId track, const char* name,
+                          sim::Time start, sim::Time wait, Cat wait_cat,
+                          LegId id, bool charge) {
+  const OpId seq = opSeq(op);
+  if (seq == 0) return 0;
   const sim::Time end = now();
-  auto it = open_.find(op);
+  const sim::Time dur = end - start;
+  if (wait > dur) wait = dur;
+  auto it = open_.find(seq);
+  LegId lid = id;
   if (it != open_.end()) {
-    it->second.cat_ns[static_cast<int>(cat)] += end - start;
+    if (lid == 0) lid = ++it->second.next_leg;
+    if (charge) {
+      it->second.cat_ns[static_cast<int>(wait_cat)] += wait;
+      it->second.cat_ns[static_cast<int>(cat)] += dur - wait;
+    }
   }
-  if (tracer_ != nullptr) tracer_->leg(track, op, name, cat, start, end);
+  const bool retain = it != open_.end() && reservoir_ != nullptr;
+  if (tracing_ || retain) {
+    const TraceEvent e{.ts = start,
+                       .dur = dur,
+                       .op = seq,
+                       .track = track,
+                       .name = name,
+                       .cat = cat,
+                       .is_span = false,
+                       .leg = lid,
+                       .parent = opParent(op),
+                       .wait = wait};
+    if (tracing_) tracer_->push(e);
+    if (retain) it->second.legs.push_back(e);
+  }
+  return lid;
+}
+
+LegId Observer::leg(OpId op, Cat cat, TrackId track, const char* name,
+                    sim::Time start, sim::Time wait, Cat wait_cat, LegId id) {
+  return recordLeg(op, cat, track, name, start, wait, wait_cat, id,
+                   /*charge=*/true);
+}
+
+LegId Observer::structLeg(OpId op, Cat cat, TrackId track, const char* name,
+                          sim::Time start, sim::Time wait, LegId id) {
+  return recordLeg(op, cat, track, name, start, wait, Cat::kServerQueue, id,
+                   /*charge=*/false);
+}
+
+LegId Observer::openLeg(OpId op) {
+  const OpId seq = opSeq(op);
+  if (seq == 0) return 0;
+  auto it = open_.find(seq);
+  if (it == open_.end()) return 0;
+  return ++it->second.next_leg;
 }
 
 void Observer::exportMetrics() {
@@ -90,6 +168,14 @@ void Observer::exportMetrics() {
           .inc(agg.cat_ns[c]);
     }
   }
+}
+
+void Observer::writeTailReport(std::ostream& os) const {
+  if (reservoir_ == nullptr) return;
+  const std::vector<OpRecord> ops = reservoirOps(*reservoir_);
+  const std::vector<std::string> stations = stationNames(reservoir_->tracks());
+  writeExemplars(os, ops, stations, reservoir_->k());
+  writeCriticalPath(os, ops, stations);
 }
 
 void Observer::writeChromeTrace(std::ostream& os) const {

@@ -20,7 +20,9 @@
 #include <map>
 #include <memory>
 #include <ostream>
+#include <vector>
 
+#include "obs/critical_path.h"
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -51,6 +53,22 @@ class Observer {
   Tracer* tracer() noexcept { return tracer_.get(); }
   const Tracer* tracer() const noexcept { return tracer_.get(); }
 
+  /// Turns on the bounded-memory tail-exemplar reservoir: the `k` slowest
+  /// ops per op-type are retained with their full leg trees (independent of
+  /// tracing, which stores every event). `rep` tags exemplars with the
+  /// repetition index so reservoirs from parallel reps merge
+  /// deterministically.
+  void enableExemplars(std::size_t k, std::uint32_t rep = 0);
+  ExemplarReservoir* exemplars() noexcept { return reservoir_.get(); }
+  const ExemplarReservoir* exemplars() const noexcept {
+    return reservoir_.get();
+  }
+  /// Releases the reservoir, e.g. to merge per-repetition reservoirs in
+  /// repetition order after a parallel sweep.
+  std::unique_ptr<ExemplarReservoir> takeExemplars() noexcept {
+    return std::move(reservoir_);
+  }
+
   MetricsRegistry& metrics() noexcept { return metrics_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
@@ -65,9 +83,27 @@ class Observer {
   /// rather than stored per op, keeping the open-op table small.
   void endOp(OpId op, const char* type, TrackId track, sim::Time start);
 
-  /// Records that `op` occupied `track` from `start` to now() as `cat`.
-  /// No-op for op 0 or an op that already ended.
-  void leg(OpId op, Cat cat, TrackId track, const char* name, sim::Time start);
+  /// Records that `op` occupied `track` from `start` to now(): queue-wait
+  /// for the first `wait` ns (charged to `wait_cat` in the aggregate),
+  /// service for the rest (charged to `cat`). `id` 0 allocates a fresh leg
+  /// id; a nonzero `id` must come from openLeg() on the same op. Returns
+  /// the leg id (0 for op 0 or an op that already ended).
+  LegId leg(OpId op, Cat cat, TrackId track, const char* name,
+            sim::Time start, sim::Time wait = 0,
+            Cat wait_cat = Cat::kServerQueue, LegId id = 0);
+
+  /// Trace/exemplar-only leg: shows up in the causal tree but charges
+  /// nothing to the per-category aggregate. Used for structural parents
+  /// (per-shard RPC scopes, NIC tx/rx under the charging "send" leg) whose
+  /// time is already covered by other legs.
+  LegId structLeg(OpId op, Cat cat, TrackId track, const char* name,
+                  sim::Time start, sim::Time wait = 0, LegId id = 0);
+
+  /// Pre-allocates the id of a forthcoming leg of `op`, so children created
+  /// while the leg is still running can name it as parent via
+  /// withParent(op, id). Record the leg later by passing the id to leg() or
+  /// structLeg().
+  LegId openLeg(OpId op);
 
   /// Per-op-type aggregate: latency histogram plus summed per-category leg
   /// time. kClient is the residual latency not covered by recorded legs.
@@ -93,17 +129,33 @@ class Observer {
   /// latency percentiles, and % of total time per category.
   void writeBreakdown(std::ostream& os) const;
 
+  /// Prints the reservoir's tail exemplars with their critical-path
+  /// decomposition; no-op unless enableExemplars() was called.
+  void writeTailReport(std::ostream& os) const;
+
  private:
   struct OpenOp {
     sim::Time cat_ns[kCatCount] = {};
+    LegId next_leg = 0;            // per-op leg id allocator
+    std::vector<TraceEvent> legs;  // retained only while exemplars are on
   };
+
+  LegId recordLeg(OpId op, Cat cat, TrackId track, const char* name,
+                  sim::Time start, sim::Time wait, Cat wait_cat, LegId id,
+                  bool charge);
+  /// Interns a tracer track into the reservoir's own table (cached).
+  TrackId reservoirTrack(TrackId t);
 
   std::uint64_t epoch_;
   sim::Simulation* sim_ = nullptr;
   std::unique_ptr<Tracer> tracer_;
+  bool tracing_ = false;  // tracer_ may exist just to host the track registry
+  std::unique_ptr<ExemplarReservoir> reservoir_;
+  std::uint32_t rep_ = 0;
+  std::vector<TrackId> reservoir_track_;  // tracer TrackId -> reservoir id
   MetricsRegistry metrics_;
   OpId next_op_ = 1;
-  std::map<OpId, OpenOp> open_;
+  std::map<OpId, OpenOp> open_;  // keyed by op sequence number
   std::map<std::string, OpTypeAgg> op_types_;
 };
 
@@ -146,6 +198,56 @@ class OpScope {
   const char* type_ = nullptr;
   TrackId track_ = 0;
   OpId id_ = 0;
+  sim::Time start_ = 0;
+};
+
+/// RAII structural leg: groups child legs under one node of the op's causal
+/// tree without charging the aggregate (the children carry the charges).
+/// ctx() is the OpId to thread into child work — it names this leg as the
+/// children's parent. Default-constructed scopes are inert and ctx() passes
+/// the original op through unchanged.
+class LegScope {
+ public:
+  LegScope() = default;
+  LegScope(Observer* o, OpId op, const char* name, Cat cat, TrackId track)
+      : o_(o), op_(op), name_(name), cat_(cat), track_(track),
+        id_(o->openLeg(op)), start_(o->now()) {}
+  LegScope(LegScope&& other) noexcept { *this = std::move(other); }
+  LegScope& operator=(LegScope&& other) noexcept {
+    end();
+    o_ = other.o_;
+    op_ = other.op_;
+    name_ = other.name_;
+    cat_ = other.cat_;
+    track_ = other.track_;
+    id_ = other.id_;
+    start_ = other.start_;
+    other.o_ = nullptr;
+    other.id_ = 0;
+    return *this;
+  }
+  ~LegScope() { end(); }
+
+  /// Op id for child work: children record this leg as their parent.
+  OpId ctx() const noexcept {
+    return id_ != 0 ? withParent(op_, id_) : op_;
+  }
+
+  void end() noexcept {
+    if (o_ != nullptr && id_ != 0) {
+      o_->structLeg(op_, cat_, track_, name_, start_, 0, id_);
+    }
+    o_ = nullptr;
+    id_ = 0;
+  }
+
+ private:
+  Observer* o_ = nullptr;
+  OpId op_ = 0;
+  const char* name_ = nullptr;
+  Cat cat_ = Cat::kOther;
+  TrackId track_ = 0;
+  LegId id_ = 0;
   sim::Time start_ = 0;
 };
 

@@ -114,7 +114,16 @@ void Tracer::writeChromeTrace(std::ostream& os) const {
       writeMicros(x, e.ts);
       x << ",\"dur\":";
       writeMicros(x, e.dur);
-      x << ",\"args\":{\"op\":" << e.op << "}}";
+      x << ",\"args\":{\"op\":" << e.op;
+      // Causal-tree fields only when set, so depth-1 legs keep the exact
+      // schema-1 serialization (guarded by tests/trace_test.cc).
+      if (e.leg != 0) x << ",\"leg\":" << e.leg;
+      if (e.parent != 0) x << ",\"parent\":" << e.parent;
+      if (e.wait != 0) {
+        x << ",\"wait\":";
+        writeMicros(x, e.wait);
+      }
+      x << "}}";
       records.push_back(Record{e.ts, x.str()});
     }
   }

@@ -13,6 +13,11 @@
 // Tracks follow the paper's topology: one pid per simulated node, one tid
 // per station/xstream/client. All timestamps are simulated nanoseconds, so
 // traces are bit-identical across runs with the same seed.
+//
+// Schema 2 adds the causal-tree fields: each leg carries its own id, the id
+// of the leg it ran under (parent), and the queue-wait prefix of its
+// duration. Legs whose new fields are all zero serialize exactly as in
+// schema 1, so depth-1 traces are unchanged apart from the version stamp.
 #pragma once
 
 #include <cstdint>
@@ -28,10 +33,31 @@
 namespace daosim::obs {
 
 /// Version stamped as the first field of every trace dump.
-inline constexpr int kTraceSchemaVersion = 1;
+inline constexpr int kTraceSchemaVersion = 2;
 
 using OpId = std::uint64_t;
 using TrackId = std::uint32_t;
+
+/// Per-op leg number (1-based; 0 means "no leg" / root). Allocated by
+/// Observer in leg-record order, so ids are deterministic.
+using LegId = std::uint32_t;
+
+// An OpId packs the op sequence number (low 40 bits) with the id of the leg
+// the current code path runs under (high 24 bits). Instrumentation already
+// threads `obs::OpId op` through every coroutine as plain data (the GCC-12
+// closure-parameter rule forbids capturing context instead), so causal
+// parents ride along without touching any signature: a parent leg calls
+// withParent(op, id) and passes the result to its children.
+inline constexpr int kOpSeqBits = 40;
+inline constexpr OpId kOpSeqMask = (OpId{1} << kOpSeqBits) - 1;
+
+constexpr OpId opSeq(OpId op) noexcept { return op & kOpSeqMask; }
+constexpr LegId opParent(OpId op) noexcept {
+  return static_cast<LegId>(op >> kOpSeqBits);
+}
+constexpr OpId withParent(OpId op, LegId parent) noexcept {
+  return opSeq(op) | (static_cast<OpId>(parent) << kOpSeqBits);
+}
 
 /// Pipeline leg categories; kClient is the residual (op latency not covered
 /// by any recorded leg: client-side CPU, library overhead, local waits).
@@ -51,11 +77,16 @@ const char* catName(Cat c) noexcept;
 struct TraceEvent {
   sim::Time ts = 0;
   sim::Time dur = 0;
-  OpId op = 0;
+  OpId op = 0;           // op sequence number (parent bits stripped)
   TrackId track = 0;
   const char* name = nullptr;  // static string (op type or leg name)
   Cat cat = Cat::kOther;
   bool is_span = false;  // true: async op span; false: "X" leg
+  // Causal-tree fields (legs only; schema 2). All-zero legs serialize
+  // exactly as schema-1 events did.
+  LegId leg = 0;         // this leg's id within its op
+  LegId parent = 0;      // id of the enclosing leg (0 = directly under op)
+  sim::Time wait = 0;    // queue-wait prefix of dur; the rest is service
 };
 
 class Tracer {
@@ -67,7 +98,7 @@ class Tracer {
             sim::Time end) {
     events_.push_back(TraceEvent{.ts = start,
                                  .dur = end - start,
-                                 .op = op,
+                                 .op = opSeq(op),
                                  .track = track,
                                  .name = type,
                                  .cat = Cat::kClient,
@@ -75,18 +106,28 @@ class Tracer {
   }
 
   void leg(TrackId track, OpId op, const char* name, Cat cat, sim::Time start,
-           sim::Time end) {
+           sim::Time end, LegId leg_id = 0, LegId parent = 0,
+           sim::Time wait = 0) {
     events_.push_back(TraceEvent{.ts = start,
                                  .dur = end - start,
-                                 .op = op,
+                                 .op = opSeq(op),
                                  .track = track,
                                  .name = name,
                                  .cat = cat,
-                                 .is_span = false});
+                                 .is_span = false,
+                                 .leg = leg_id,
+                                 .parent = parent,
+                                 .wait = wait});
   }
+
+  void push(const TraceEvent& e) { events_.push_back(e); }
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   std::size_t trackCount() const noexcept { return tracks_.size(); }
+  int trackPid(TrackId id) const noexcept { return tracks_[id].pid; }
+  const std::string& trackName(TrackId id) const noexcept {
+    return tracks_[id].name;
+  }
 
   /// Chrome-trace JSON: `{"schema": N, "traceEvents": [...]}` with one event
   /// object per line (metadata first, then events sorted by timestamp).

@@ -1,0 +1,200 @@
+#include "obs/trace_reader.h"
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace daosim::obs {
+
+namespace {
+
+[[noreturn]] void malformed(std::string_view line, const char* what) {
+  throw TraceFormatError("malformed trace event (" + std::string(what) +
+                         "): " +
+                         std::string(line.substr(0, 120)));
+}
+
+/// Extracts the numeric token after `key` ("1234" or "1234.567"); returns
+/// false when the key is absent.
+bool findNum(std::string_view line, std::string_view key,
+             std::string_view& out) {
+  const auto pos = line.find(key);
+  if (pos == std::string_view::npos) return false;
+  std::size_t i = pos + key.size();
+  const std::size_t begin = i;
+  while (i < line.size() &&
+         ((line[i] >= '0' && line[i] <= '9') || line[i] == '.' ||
+          line[i] == '-')) {
+    ++i;
+  }
+  if (i == begin) return false;
+  out = line.substr(begin, i - begin);
+  return true;
+}
+
+std::uint64_t toU64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') break;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+/// Chrome timestamps are microseconds with up to 3 fractional digits (the
+/// writer emits nanosecond precision); converts back to integer ns.
+sim::Time microsToNs(std::string_view s) {
+  const auto dot = s.find('.');
+  std::uint64_t whole = toU64(dot == std::string_view::npos ? s : s.substr(0, dot));
+  std::uint64_t frac = 0;
+  if (dot != std::string_view::npos) {
+    std::string_view f = s.substr(dot + 1);
+    std::size_t digits = 0;
+    for (char c : f) {
+      if (c < '0' || c > '9') break;
+      frac = frac * 10 + static_cast<std::uint64_t>(c - '0');
+      ++digits;
+    }
+    for (; digits < 3; ++digits) frac *= 10;
+  }
+  return static_cast<sim::Time>(whole * 1000 + frac);
+}
+
+bool findStr(std::string_view line, std::string_view key,
+             std::string_view& out) {
+  const auto pos = line.find(key);
+  if (pos == std::string_view::npos) return false;
+  const std::size_t begin = pos + key.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string_view::npos) return false;
+  out = line.substr(begin, end - begin);
+  return true;
+}
+
+}  // namespace
+
+TraceDump parseChromeTrace(std::istream& is) {
+  TraceDump dump;
+  std::map<std::string, const char*> interned;
+  const auto intern = [&](std::string_view s) -> const char* {
+    auto it = interned.find(std::string(s));
+    if (it != interned.end()) return it->second;
+    dump.names.emplace_back(s);
+    return interned.emplace(std::string(s), dump.names.back().c_str())
+        .first->second;
+  };
+
+  struct Pending {
+    const char* name = nullptr;
+    TrackId track = 0;
+    sim::Time ts = 0;
+  };
+  std::map<std::uint64_t, Pending> open;                 // "b" awaiting "e"
+  std::map<std::uint64_t, std::vector<TraceEvent>> legs;  // by op seq
+
+  std::string line;
+  bool have_schema = false;
+  while (std::getline(is, line)) {
+    std::string_view v = line;
+    if (!have_schema) {
+      std::string_view num;
+      if (findNum(v, "\"schema\": ", num) || findNum(v, "\"schema\":", num)) {
+        dump.schema = static_cast<int>(toU64(num));
+        have_schema = true;
+        if (dump.schema != kTraceSchemaVersion) {
+          throw TraceFormatError(
+              "trace schema mismatch: file has version " +
+              std::to_string(dump.schema) + ", this tool expects " +
+              std::to_string(kTraceSchemaVersion));
+        }
+      }
+    }
+    const auto brace = v.find("{\"ph\":\"");
+    if (brace == std::string_view::npos) continue;
+    if (!have_schema) {
+      throw TraceFormatError(
+          "not a daosim trace: events before (or without) a schema stamp");
+    }
+    v = v.substr(brace);
+    const char ph = v.size() > 7 ? v[7] : '\0';
+    std::string_view num;
+    std::string_view str;
+    if (ph == 'M') {
+      if (!findStr(v, "\"name\":\"", str) || str != "thread_name") continue;
+      if (!findNum(v, "\"pid\":", num)) malformed(v, "no pid");
+      const int pid = static_cast<int>(toU64(num));
+      if (!findNum(v, "\"tid\":", num)) malformed(v, "no tid");
+      const std::size_t tid = toU64(num);
+      if (!findStr(v, "\"args\":{\"name\":\"", str)) malformed(v, "no name");
+      if (dump.tracks.size() <= tid) dump.tracks.resize(tid + 1);
+      dump.tracks[tid] = TrackDesc{pid, std::string(str)};
+    } else if (ph == 'b' || ph == 'e') {
+      if (!findNum(v, "\"id\":", num)) malformed(v, "no id");
+      const std::uint64_t id = toU64(num);
+      if (!findNum(v, "\"ts\":", num)) malformed(v, "no ts");
+      const sim::Time ts = microsToNs(num);
+      if (ph == 'b') {
+        if (!findStr(v, "\"name\":\"", str)) malformed(v, "no name");
+        Pending p;
+        p.name = intern(str);
+        if (findNum(v, "\"tid\":", num)) {
+          p.track = static_cast<TrackId>(toU64(num));
+        }
+        p.ts = ts;
+        open[id] = p;
+      } else {
+        auto it = open.find(id);
+        if (it == open.end()) malformed(v, "span end without begin");
+        OpRecord rec;
+        rec.type = it->second.name;
+        rec.seq = id;
+        rec.track = it->second.track;
+        rec.start = it->second.ts;
+        rec.dur = ts - it->second.ts;
+        open.erase(it);
+        dump.ops.push_back(std::move(rec));
+      }
+    } else if (ph == 'X') {
+      TraceEvent e;
+      if (!findStr(v, "\"name\":\"", str)) malformed(v, "no name");
+      e.name = intern(str);
+      if (findStr(v, "\"cat\":\"", str)) {
+        for (int c = 0; c < kCatCount; ++c) {
+          if (str == catName(static_cast<Cat>(c))) {
+            e.cat = static_cast<Cat>(c);
+            break;
+          }
+        }
+      }
+      if (!findNum(v, "\"tid\":", num)) malformed(v, "no tid");
+      e.track = static_cast<TrackId>(toU64(num));
+      if (!findNum(v, "\"ts\":", num)) malformed(v, "no ts");
+      e.ts = microsToNs(num);
+      if (!findNum(v, "\"dur\":", num)) malformed(v, "no dur");
+      e.dur = microsToNs(num);
+      if (!findNum(v, "\"op\":", num)) malformed(v, "no op");
+      e.op = toU64(num);
+      if (findNum(v, "\"leg\":", num)) {
+        e.leg = static_cast<LegId>(toU64(num));
+      }
+      if (findNum(v, "\"parent\":", num)) {
+        e.parent = static_cast<LegId>(toU64(num));
+      }
+      if (findNum(v, "\"wait\":", num)) e.wait = microsToNs(num);
+      legs[e.op].push_back(e);
+    }
+  }
+  if (!have_schema) {
+    throw TraceFormatError("not a daosim trace: no schema stamp found");
+  }
+  dump.dropped_opens = open.size();
+  for (OpRecord& rec : dump.ops) {
+    auto it = legs.find(rec.seq);
+    if (it != legs.end()) rec.legs = std::move(it->second);
+  }
+  return dump;
+}
+
+}  // namespace daosim::obs

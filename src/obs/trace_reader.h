@@ -1,0 +1,42 @@
+// Re-ingestion of daosim chrome-trace dumps for offline analysis.
+//
+// Parses the JSON written by Tracer::writeChromeTrace back into track
+// tables and per-op leg trees (the analyzer's OpRecord form). The format is
+// the tool's own output — one event object per line — so the parser is a
+// line scanner, not a general JSON parser; it is strict about the schema
+// stamp and required fields and throws TraceFormatError rather than
+// producing partial results (tools/daosim_trace turns that into a non-zero
+// exit).
+#pragma once
+
+#include <deque>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+
+namespace daosim::obs {
+
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct TraceDump {
+  int schema = 0;
+  std::vector<TrackDesc> tracks;
+  /// Completed ops with their leg trees, in file (time) order.
+  std::vector<OpRecord> ops;
+  /// Spans begun but never ended (ops cut off mid-run) — reported, not kept.
+  std::size_t dropped_opens = 0;
+  /// Interned leg/op name storage; OpRecord legs point into this.
+  std::deque<std::string> names;
+};
+
+/// Parses a schema-2 daosim trace. Throws TraceFormatError on a missing or
+/// mismatched schema stamp and on malformed event lines.
+TraceDump parseChromeTrace(std::istream& is);
+
+}  // namespace daosim::obs

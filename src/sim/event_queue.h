@@ -24,6 +24,20 @@
 // Ring buckets cover windows strictly after the current one and the far heap
 // holds only times at or beyond the ring horizon (advance() re-distributes
 // far events whenever the horizon moves), so inter-level order is total.
+//
+// Adaptive single-window bypass: when every stored event lives in the
+// current window heap (now-FIFO drained, ring and far heap empty), the
+// queue behaves exactly like a bare binary heap, and the level checks on
+// push/pop are pure overhead — the dense-timer regression in
+// BENCH_kernel.json (events_per_sec/64). `bypass_` caches that state:
+// while set, push appends straight to the window heap and pop takes its
+// front with no FIFO or advance() checks, re-anchoring the window at each
+// popped timestamp so the fast path tracks the clock indefinitely. The
+// flag drops on the first event that leaves the single-window world (a
+// t == now push, an out-of-window push) and is re-armed on the slow pop
+// path whenever the other levels are observed empty again, so mixed
+// workloads pay one predictable branch and dense-timer workloads get the
+// bare heap back.
 #pragma once
 
 #include <algorithm>
@@ -55,6 +69,14 @@ class EventQueue {
   void push(Time now, Time t, std::uint64_t seq, std::coroutine_handle<> h) {
     assert(t >= now);
     ++size_;
+    if (bypass_) {
+      if (t != now && t - win_lo_ < kWidth) [[likely]] {
+        cur_.push_back(Item{t, seq, h});
+        std::push_heap(cur_.begin(), cur_.end(), After{});
+        return;
+      }
+      bypass_ = false;
+    }
     if (t == now) {
       assert(fifoEmpty() || fifo_time_ == now);
       if (fifoEmpty()) {
@@ -71,6 +93,20 @@ class EventQueue {
   /// Pops the (time, seq)-minimum event. Queue must be non-empty.
   Item pop() {
     assert(size_ > 0);
+    if (bypass_) [[likely]] {
+      assert(!cur_.empty());
+      std::pop_heap(cur_.begin(), cur_.end(), After{});
+      const Item e = cur_.back();
+      cur_.pop_back();
+      --size_;
+      // Slide the window with the clock so in-window pushes keep taking the
+      // fast path. Remaining heap events all satisfy t >= e.t and
+      // t < old win_lo_ + kWidth <= new win_lo_ + kWidth, so re-anchoring
+      // the (bucket-aligned) window at e.t preserves containment and the
+      // slow path can take over at any moment without redistribution.
+      win_lo_ = e.t / kWidth * kWidth;
+      return e;
+    }
     if (fifoEmpty() && cur_.empty()) advance();
     Item e;
     const bool take_fifo =
@@ -85,6 +121,7 @@ class EventQueue {
       cur_.pop_back();
     }
     --size_;
+    if (fifoEmpty() && ring_count_ == 0 && far_.empty()) bypass_ = true;
     return e;
   }
 
@@ -205,6 +242,10 @@ class EventQueue {
   std::size_t ring_count_ = 0;
   std::priority_queue<Item, std::vector<Item>, After> far_;
   std::size_t size_ = 0;
+  // True iff every stored event is in cur_ (see "Adaptive single-window
+  // bypass" above); push/pop then skip the other levels entirely.
+  bool bypass_ = true;
+
 };
 
 }  // namespace daosim::sim

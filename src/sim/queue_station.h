@@ -26,17 +26,19 @@ class QueueStation {
       : sim_(&sim), name_(std::move(name)), sem_(sim, servers) {}
 
   /// Occupies one server for `service` time, FIFO-queued. `op` (if nonzero
-  /// and an observer is attached) gets queue-wait and service legs recorded.
-  Task<void> exec(Time service, obs::OpId op = 0) {
+  /// and an observer is attached) gets one station leg recorded whose
+  /// queue-wait/service split is explicit; the wait charges to
+  /// Cat::kServerQueue and the service to `cat`. `nested` records the leg
+  /// as structure-only (no aggregate charge) for stations that run under a
+  /// charging parent leg, e.g. NIC tx/rx inside Cluster::send's "send".
+  Task<void> exec(Time service, obs::OpId op = 0,
+                  obs::Cat cat = obs::Cat::kService, bool nested = false) {
     const Time queued_at = sim_->now();
     co_await sem_.acquire();
     const Time acquired_at = sim_->now();
     wait_ns_ += acquired_at - queued_at;
-    if (obs::Observer* o = sim_->observer()) {
+    if (sim_->observer() != nullptr) {
       wait_hist_.add(acquired_at - queued_at);
-      if (op != 0) {
-        o->leg(op, obs::Cat::kServerQueue, obsTrack(o), "queue", queued_at);
-      }
     }
     co_await sim_->delay(service);
     sem_.release();
@@ -44,7 +46,12 @@ class QueueStation {
     ++ops_;
     if (op != 0) {
       if (obs::Observer* o = sim_->observer()) {
-        o->leg(op, obs::Cat::kService, obsTrack(o), "service", acquired_at);
+        const Time wait = acquired_at - queued_at;
+        if (nested) {
+          o->structLeg(op, cat, obsTrack(o), "service", queued_at, wait);
+        } else {
+          o->leg(op, cat, obsTrack(o), "service", queued_at, wait);
+        }
       }
     }
   }
@@ -62,7 +69,9 @@ class QueueStation {
     if (obs::Observer* o = sim_->observer()) {
       wait_hist_.add(acquired_at - queued_at);
       if (op != 0) {
-        o->leg(op, obs::Cat::kServerQueue, obsTrack(o), "queue", queued_at);
+        // Pure-wait leg: the whole duration is queueing.
+        o->leg(op, obs::Cat::kServerQueue, obsTrack(o), "queue", queued_at,
+               acquired_at - queued_at);
       }
     }
     co_return acquired_at;

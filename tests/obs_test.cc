@@ -209,7 +209,7 @@ TEST(Tracer, EmitsMatchedSpansAndMonotoneTimestamps) {
   std::ostringstream os;
   tr.writeChromeTrace(os);
   const std::string out = os.str();
-  EXPECT_NE(out.find("\"schema\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"schema\": 2"), std::string::npos);
   // "e" for op 1 (ts 0.5us) must come after "b" of op 2 (ts 0.2us).
   const auto b2 = out.find("\"ph\":\"b\",\"cat\":\"op\",\"id\":2");
   const auto e1 = out.find("\"ph\":\"e\",\"cat\":\"op\",\"id\":1");
@@ -252,7 +252,7 @@ std::vector<ParsedEvent> parseTrace(const std::string& json,
   std::istringstream is(json);
   std::string line;
   std::getline(is, line);
-  if (line.find("\"schema\": 1") == std::string::npos) {
+  if (line.find("\"schema\": 2") == std::string::npos) {
     *error = "missing schema header: " + line;
     return events;
   }

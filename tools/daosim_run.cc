@@ -24,9 +24,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "apps/fault_injector.h"
 #include "apps/fdb.h"
@@ -69,6 +71,7 @@ struct Options {
   bool write_only = false;  // --write-only: skip the IOR read phase
   bool read_only = false;   // --read-only: write silently, time reads only
   std::string trace_file;      // --trace / DAOSIM_TRACE
+  int exemplars = 0;           // --exemplars K / DAOSIM_EXEMPLARS (0 = off)
   std::string metrics_file;    // --metrics / DAOSIM_METRICS
   std::string telemetry_file;  // --telemetry / DAOSIM_TELEMETRY
   sim::Time telemetry_interval = 0;  // 0 = DAOSIM_TELEMETRY_INTERVAL / 10ms
@@ -92,7 +95,7 @@ struct Options {
       "          [--reps N] [--jobs N] [--seed N] [--pgs N] [--replicas N]\n"
       "          [--queue-depth N] [--shared] [--async-index] [--stats]\n"
       "          [--write-only | --read-only]\n"
-      "          [--trace FILE] [--metrics FILE]\n"
+      "          [--trace FILE] [--metrics FILE] [--exemplars K]\n"
       "          [--telemetry FILE] [--telemetry-interval DUR]\n"
       "          [--faults SPEC] [--rpc-timeout DUR] [--rpc-retries N]\n"
       "Backends: --api picks an io::Backend by registry name; --system is\n"
@@ -108,6 +111,10 @@ struct Options {
       "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
       "file ends in .json) of op latency histograms, both for the last\n"
       "repetition. DAOSIM_TRACE / DAOSIM_METRICS env vars are fallbacks.\n"
+      "--exemplars K keeps the K slowest ops per op type across ALL\n"
+      "repetitions (bounded memory) and prints their causal leg trees plus\n"
+      "a p50/p95/p99 critical-path breakdown; deterministic under --jobs.\n"
+      "DAOSIM_EXEMPLARS is the env fallback.\n"
       "--telemetry samples a per-component metric tree every\n"
       "--telemetry-interval of simulated time (default 10ms; \"500us\",\n"
       "\"5ms\", ... — see obs/telemetry.h) across every repetition and\n"
@@ -225,6 +232,9 @@ Options parse(int argc, char** argv) {
       o.read_only = true;
     } else if (arg == "--trace") {
       o.trace_file = value();
+    } else if (arg == "--exemplars") {
+      o.exemplars = std::atoi(value());
+      if (o.exemplars <= 0) usage(argv[0]);
     } else if (arg == "--metrics") {
       o.metrics_file = value();
     } else if (arg == "--telemetry") {
@@ -252,6 +262,11 @@ Options parse(int argc, char** argv) {
   }
   if (o.trace_file.empty()) {
     if (const char* v = std::getenv("DAOSIM_TRACE")) o.trace_file = v;
+  }
+  if (o.exemplars == 0) {
+    if (const char* v = std::getenv("DAOSIM_EXEMPLARS")) {
+      o.exemplars = std::atoi(v);
+    }
   }
   if (o.metrics_file.empty()) {
     if (const char* v = std::getenv("DAOSIM_METRICS")) o.metrics_file = v;
@@ -408,8 +423,17 @@ int main(int argc, char** argv) {
     const bool want_obs = o.stats || !o.trace_file.empty() ||
                           !o.metrics_file.empty() || !o.telemetry_file.empty();
     if (!o.trace_file.empty()) observer.enableTracing();
+    if (o.exemplars > 0) {
+      observer.enableExemplars(static_cast<std::size_t>(o.exemplars),
+                               static_cast<std::uint32_t>(o.reps - 1));
+    }
     apps::Measurement m;
     m.point = apps::SweepPoint{o.clients, o.ppn};
+    // Per-rep exemplar reservoirs, merged in rep order after the pool joins
+    // (merge order does not matter, but fixed order keeps it obviously
+    // deterministic under --jobs).
+    std::vector<std::unique_ptr<obs::ExemplarReservoir>> reservoirs(
+        static_cast<std::size_t>(o.reps));
     // Repetitions are independent simulations; run them across a worker
     // pool (--jobs / DAOSIM_JOBS). Aggregation stays in rep order, so the
     // printed numbers are identical to a serial run for a fixed --seed.
@@ -421,17 +445,40 @@ int main(int argc, char** argv) {
           const bool last = rep == static_cast<std::size_t>(o.reps) - 1;
           const bool stats = o.stats && last;
           obs::Observer* obsp = want_obs && last ? &observer : nullptr;
+          // Non-last reps get a local observer when exemplars are on, so
+          // the reservoir sees the tail of every repetition.
+          std::optional<obs::Observer> rep_obs;
+          if (o.exemplars > 0 && obsp == nullptr) {
+            rep_obs.emplace();
+            rep_obs->enableExemplars(static_cast<std::size_t>(o.exemplars),
+                                     static_cast<std::uint32_t>(rep));
+            obsp = &*rep_obs;
+          }
           const std::string label = "rep/" + std::to_string(rep);
+          apps::RunResult r;
           if (o.system == "daos") {
-            return runDaos(o, seed, stats, obsp, label);
+            r = runDaos(o, seed, stats, obsp, label);
+          } else if (o.system == "lustre") {
+            r = runLustre(o, seed, stats, obsp, label);
+          } else if (o.system == "ceph") {
+            r = runCeph(o, seed, stats, obsp, label);
+          } else {
+            throw std::invalid_argument("unknown --system: " + o.system);
           }
-          if (o.system == "lustre") {
-            return runLustre(o, seed, stats, obsp, label);
-          }
-          if (o.system == "ceph") return runCeph(o, seed, stats, obsp, label);
-          throw std::invalid_argument("unknown --system: " + o.system);
+          if (o.exemplars > 0) reservoirs[rep] = obsp->takeExemplars();
+          return r;
         });
     for (const auto& r : results) m.add(r);
+    if (o.exemplars > 0) {
+      obs::ExemplarReservoir master(static_cast<std::size_t>(o.exemplars));
+      for (const auto& r : reservoirs) {
+        if (r != nullptr) master.merge(*r);
+      }
+      const auto ops = obs::reservoirOps(master);
+      const auto stations = obs::stationNames(master.tracks());
+      obs::writeExemplars(std::cout, ops, stations, master.k());
+      obs::writeCriticalPath(std::cout, ops, stations);
+    }
     if (!o.trace_file.empty()) {
       std::ofstream f(o.trace_file);
       observer.writeChromeTrace(f);

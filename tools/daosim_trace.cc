@@ -1,0 +1,132 @@
+// daosim_trace — critical-path analysis of a trace dump.
+//
+// Ingests the chrome-trace JSON written by `daosim_run --trace` (or a bench
+// binary under DAOSIM_TRACE) and answers "where did the ops spend their
+// time": per-op-type p50/p95/p99 station breakdowns with the queue-wait vs
+// service split, tail exemplar leg trees, folded stacks for flamegraph.pl /
+// speedscope, and a per-station A/B diff of two runs.
+//
+//   daosim_trace breakdown trace.json
+//   daosim_trace exemplars --top 3 trace.json
+//   daosim_trace folded trace.json > run.folded
+//   daosim_trace diff before.json after.json
+//
+// Exits non-zero (with no partial output) on missing files or a trace
+// schema this build does not understand.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/trace_reader.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s COMMAND [options] FILE.json [FILE2.json]\n"
+      "Critical-path analysis of a daosim trace dump (daosim_run --trace,\n"
+      "or DAOSIM_TRACE with the bench binaries).\n"
+      "commands:\n"
+      "  breakdown FILE        per-op-type p50/p95/p99 station breakdown\n"
+      "                        (queue-wait vs service; sums == span)\n"
+      "  exemplars FILE        slowest ops per type with full leg trees\n"
+      "  folded FILE           folded-stack flamegraph lines to stdout\n"
+      "  diff FILE_A FILE_B    per-station comparison of two runs\n"
+      "options:\n"
+      "  --top N               exemplar count per op type (default 5)\n",
+      argv0);
+  std::exit(2);
+}
+
+daosim::obs::TraceDump load(const std::string& file) {
+  std::ifstream is(file);
+  if (!is) {
+    std::fprintf(stderr, "daosim_trace: cannot open %s\n", file.c_str());
+    std::exit(1);
+  }
+  return daosim::obs::parseChromeTrace(is);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command;
+  std::size_t top = 5;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+        has_inline = true;
+      }
+    }
+    auto value = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--top") {
+      const int n = std::atoi(value());
+      if (n <= 0) usage(argv[0]);
+      top = static_cast<std::size_t>(n);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+    } else if (command.empty()) {
+      command = arg;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  const std::size_t want_files = command == "diff" ? 2 : 1;
+  if (command.empty() || files.size() != want_files) usage(argv[0]);
+  if (command != "breakdown" && command != "exemplars" &&
+      command != "folded" && command != "diff") {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    usage(argv[0]);
+  }
+
+  try {
+    using namespace daosim::obs;
+    // Parse everything up front, then print: a schema error after partial
+    // output would defeat the non-zero-exit contract.
+    const TraceDump a = load(files[0]);
+    const auto stations_a = stationNames(a.tracks);
+    std::ostringstream out;
+    if (command == "breakdown") {
+      writeCriticalPath(out, a.ops, stations_a);
+    } else if (command == "exemplars") {
+      writeExemplars(out, a.ops, stations_a, top);
+    } else if (command == "folded") {
+      writeFoldedStacks(out, a.ops, stations_a);
+    } else {  // diff
+      const TraceDump b = load(files[1]);
+      writeStationDiff(out, a.ops, stations_a, b.ops, stationNames(b.tracks));
+    }
+    std::cout << out.str();
+    if (a.dropped_opens != 0) {
+      std::fprintf(stderr,
+                   "daosim_trace: note: %zu op span(s) never ended "
+                   "(run cut off mid-op); they are excluded\n",
+                   a.dropped_opens);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "daosim_trace: %s\n", e.what());
+    return 1;
+  }
+}
