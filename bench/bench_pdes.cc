@@ -1,0 +1,89 @@
+// bench_pdes — intra-run sharding (sim::ShardGroup) throughput.
+//
+// Three questions, answered on the --bench pdes workload (apps/pdes.h):
+//   * kernel event throughput of the sharded engine vs shard count
+//     (BM_PdesEventsPerSec/1..4 — speedup is events/s at N over events/s
+//     at 1, since every shard count produces identical results);
+//   * the price of the windowed protocol itself: one shard pays for
+//     window computation and quiescence checks but never parks a worker,
+//     so PdesEventsPerSec/1 vs PdesSerialEventsPerSec bounds the overhead
+//     (BENCH_pdes.json budgets it at < 15%);
+//   * cross-shard handoff rate: every NIC send between nodes on different
+//     shards is one mailbox post + one migrated coroutine
+//     (BM_PdesCrossShardPostsPerSec counts posts, not events).
+//
+// Results are recorded in BENCH_pdes.json and guarded by
+// scripts/check_bench_regression.py. Note the shared CI container exposes
+// a single core: shard workers oversubscribe it, so the recorded numbers
+// show protocol cost, not parallel speedup — see the baseline host note.
+#include <benchmark/benchmark.h>
+
+#include "apps/pdes.h"
+
+namespace {
+
+using namespace daosim;
+
+apps::PdesOptions benchOptions(int sim_jobs) {
+  apps::PdesOptions o;
+  o.server_nodes = 4;
+  o.client_nodes = 4;
+  o.procs_per_node = 4;
+  o.ops = 32;
+  o.transfer = 1 << 20;
+  o.sim_jobs = sim_jobs;
+  return o;
+}
+
+/// Serial kernel (no ShardGroup at all) — the --sim-jobs 1 CLI default and
+/// the denominator for the 1-shard protocol-overhead budget.
+void BM_PdesSerialEventsPerSec(benchmark::State& state) {
+  std::size_t events = 0;
+  for (auto _ : state) {
+    apps::PdesResult r = apps::runPdes(benchOptions(0));
+    events += r.events;
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+/// Windowed ShardGroup with N shards; N == 1 exercises the full sync
+/// protocol (windows, quiescence, mailbox flushes) without parallelism.
+void BM_PdesEventsPerSec(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    apps::PdesResult r = apps::runPdes(benchOptions(shards));
+    events += r.events;
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+/// Cross-shard handoff rate: items are mailbox posts (each one a reserve +
+/// migrate + re-schedule on the destination), on a 2-shard split where
+/// every request/response crosses shards with high probability.
+void BM_PdesCrossShardPostsPerSec(benchmark::State& state) {
+  std::uint64_t posts = 0;
+  for (auto _ : state) {
+    apps::PdesResult r = apps::runPdes(benchOptions(2));
+    posts += r.sync.cross_posts;
+    benchmark::DoNotOptimize(r.digest);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(posts));
+}
+
+}  // namespace
+
+BENCHMARK(BM_PdesSerialEventsPerSec)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PdesEventsPerSec)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_PdesCrossShardPostsPerSec)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

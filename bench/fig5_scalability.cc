@@ -77,9 +77,14 @@ apps::RunResult runFdb(SweepPoint pt, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Server counts on the x axis (as SweepPoint.client_nodes).
+  // Server counts on the x axis (as SweepPoint.client_nodes). The paper
+  // stops at 24 engines; DAOSIM_FULL_GRID=1 extends the sweep past the
+  // measured range to probe where the simulated systems stop scaling.
   std::vector<apps::SweepPoint> servers;
   for (int s : {1, 2, 4, 8, 16, 24}) servers.push_back({s, kPpn});
+  if (apps::envFullGrid()) {
+    for (int s : {32, 48, 64}) servers.push_back({s, kPpn});
+  }
 
   // One sweep series per io::Backend registry name.
   for (const char* api :

@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
-"""Guard bench_kernel throughput against the recorded baseline.
+"""Guard bench throughput against the recorded baselines.
 
-Compares a fresh google-benchmark JSON dump (``--benchmark_out`` with
+Compares fresh google-benchmark JSON dumps (``--benchmark_out`` with
 ``--benchmark_repetitions=N --benchmark_report_aggregates_only=true``)
-against the hand-recorded medians in BENCH_kernel.json ("after" column,
-M items/s).  Fails if any benchmark's median items/s falls more than
-``--tolerance`` below its baseline.
+against hand-recorded medians in BENCH_*.json baseline files ("after"
+column, M items/s).  Fails if any benchmark's median items/s falls more
+than ``--tolerance`` below its baseline.
 
-The baseline host note documents run-to-run CV up to ~12% on the shared
+Multiple suites are checked in one invocation by repeating --baseline and
+giving one results file per baseline, in the same order:
+
+  check_bench_regression.py --baseline BENCH_kernel.json \
+                            --baseline BENCH_pdes.json \
+                            BENCH_kernel_ci.json BENCH_pdes_ci.json
+
+With a single (or default) baseline the original one-positional form is
+unchanged.
+
+The baseline host notes document run-to-run CV up to ~12% on the shared
 1-core CI container, so CI passes an explicit --tolerance sized for that
 noise; the default is the 5% budget the telemetry-off hot path must meet
-on a quiet machine.
-
-Usage:
-  check_bench_regression.py [--tolerance FRAC] [--baseline BENCH_kernel.json]
-                            BENCH_kernel_ci.json
+on a quiet machine.  A baseline entry may carry its own "tolerance" to
+pin a number tighter (or looser) than the global budget.
 """
 
 import argparse
@@ -39,6 +46,7 @@ def load_medians(bench_json: dict) -> dict:
             continue
         name = b["name"]
         name = re.sub(r"_median$", "", name)
+        name = re.sub(r"/real_time$", "", name)
         ips = b.get("items_per_second")
         if ips is None:
             continue
@@ -46,39 +54,31 @@ def load_medians(bench_json: dict) -> dict:
     return out
 
 
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("results", help="google-benchmark JSON output")
-    ap.add_argument("--baseline", default="BENCH_kernel.json")
-    ap.add_argument("--tolerance", type=float, default=0.05,
-                    help="allowed fractional regression (default 0.05)")
-    args = ap.parse_args()
-
-    with open(args.baseline) as f:
+def check_suite(baseline_path: str, results_path: str, tolerance: float) -> bool:
+    """Checks one baseline/results pair; returns True on failure."""
+    with open(baseline_path) as f:
         baseline = json.load(f)
-    if not str(baseline.get("schema", "")).startswith("daosim-bench-kernel/"):
-        print(f"error: {args.baseline} is not a daosim-bench-kernel baseline",
+    if not str(baseline.get("schema", "")).startswith("daosim-bench-"):
+        print(f"error: {baseline_path} is not a daosim-bench baseline",
               file=sys.stderr)
-        return 2
-    with open(args.results) as f:
+        return True
+    with open(results_path) as f:
         medians = load_medians(json.load(f))
     if not medians:
-        print(f"error: no items_per_second medians found in {args.results}",
+        print(f"error: no items_per_second medians found in {results_path}",
               file=sys.stderr)
-        return 2
+        return True
 
     failed = False
-    print(f"{'benchmark':<22} {'baseline':>10} {'measured':>10} {'delta':>8}")
+    print(f"[{baseline_path} vs {results_path}]")
+    print(f"{'benchmark':<30} {'baseline':>10} {'measured':>10} {'delta':>8}")
     for entry in baseline["benchmarks"]:
         name = entry["name"]
         want = float(entry["after"]) * 1e6  # baseline unit is M items/s
-        # A baseline entry may carry its own "tolerance" to pin a number
-        # tighter (or looser) than the global budget — used to guard
-        # hard-won recoveries like the events_per_sec/64 bypass.
-        tol = float(entry.get("tolerance", args.tolerance))
+        tol = float(entry.get("tolerance", tolerance))
         got = medians.get(name)
         if got is None:
-            print(f"{name:<22} {'':>10} {'MISSING':>10}")
+            print(f"{name:<30} {'':>10} {'MISSING':>10}")
             failed = True
             continue
         delta = got / want - 1.0
@@ -86,14 +86,39 @@ def main() -> int:
         if delta < -tol:
             mark = "  << REGRESSION"
             failed = True
-        print(f"{name:<22} {want / 1e6:>9.1f}M {got / 1e6:>9.1f}M "
+        print(f"{name:<30} {want / 1e6:>9.2f}M {got / 1e6:>9.2f}M "
               f"{delta:>+7.1%}{mark}")
+    print()
+    return failed
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("results", nargs="+",
+                    help="google-benchmark JSON output, one per --baseline")
+    ap.add_argument("--baseline", action="append", default=None,
+                    help="baseline BENCH_*.json (repeatable, paired with the "
+                         "results positionals in order; default "
+                         "BENCH_kernel.json)")
+    ap.add_argument("--tolerance", type=float, default=0.05,
+                    help="allowed fractional regression (default 0.05)")
+    args = ap.parse_args()
+
+    baselines = args.baseline if args.baseline else ["BENCH_kernel.json"]
+    if len(baselines) != len(args.results):
+        print(f"error: {len(baselines)} baseline(s) but {len(args.results)} "
+              "results file(s); they pair up in order", file=sys.stderr)
+        return 2
+
+    failed = False
+    for baseline_path, results_path in zip(baselines, args.results):
+        failed |= check_suite(baseline_path, results_path, args.tolerance)
 
     if failed:
-        print("\nFAIL: throughput regressed below the BENCH_kernel.json "
-              "median tolerance", file=sys.stderr)
+        print("\nFAIL: throughput regressed below the baseline median "
+              "tolerance", file=sys.stderr)
         return 1
-    print("\nOK: all benchmarks within tolerance of baseline")
+    print("OK: all benchmarks within tolerance of baseline")
     return 0
 
 

@@ -1,0 +1,272 @@
+#include "apps/pdes.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "hw/device.h"
+#include "hw/spec.h"
+#include "sim/queue_station.h"
+#include "sim/rng.h"
+#include "sim/sync.h"
+
+namespace daosim::apps {
+
+namespace {
+
+/// Per-process state; lives in a stable vector for the whole run. Proc
+/// coroutines take a plain pointer to one of these — no lambda closures
+/// (see the GCC-12 note in net/rpc.h).
+struct PdesProcArgs {
+  hw::Cluster* cluster = nullptr;
+  sim::Simulation* home = nullptr;   ///< the client node's (shard's) sim
+  sim::QueueStation* const* svc = nullptr;  ///< per-server service stations
+  hw::NodeId node = 0;
+  int shard = 0;
+  int rank = 0;
+  int server_nodes = 0;
+  int drives = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t transfer = 0;
+  std::uint64_t seed = 0;
+  sim::Barrier* barrier = nullptr;        ///< serial mode
+  sim::ShardBarrier* sbarrier = nullptr;  ///< sharded mode
+  RunResult* result = nullptr;            ///< this proc's (shard's) lane
+  bool phases[2] = {true, true};
+};
+
+/// RPC header sizes, matching net::rpc's small-message framing.
+constexpr std::uint64_t kRequestHeader = 384;
+constexpr std::uint64_t kResponseHeader = 256;
+/// Fixed server-side CPU cost per op (request parse + dispatch).
+constexpr sim::Time kServerCpu = 3 * sim::kMicrosecond;
+
+sim::Task<void> pdesProc(PdesProcArgs* a) {
+  // Per-proc RNG lane: the op sequence is a function of (seed, rank) only,
+  // identical in serial and sharded runs.
+  sim::Rng rng(sim::hashCombine(a->seed, 0x70646573ULL + // 'pdes'
+                                static_cast<std::uint64_t>(a->rank)));
+  // Deterministic de-tie: distinct per-rank start offsets plus the per-op
+  // think jitter below keep independent clients from arriving at one
+  // station at the exact same nanosecond, which is the only case where the
+  // sharded station order could differ from the serial FIFO order.
+  co_await a->home->delay(static_cast<sim::Time>(a->rank) * 97 + 13);
+  for (int ph = 0; ph < 2; ++ph) {
+    if (a->phases[ph]) {
+      for (std::uint64_t i = 0; i < a->ops; ++i) {
+        co_await a->home->delay(sim::kMicrosecond +
+                                rng.uniform(0, 16 * sim::kMicrosecond));
+        const sim::Time start = a->home->now();
+        const auto srv = static_cast<hw::NodeId>(
+            rng() % static_cast<std::uint64_t>(a->server_nodes));
+        const auto drive = static_cast<std::size_t>(
+            rng() % static_cast<std::uint64_t>(a->drives));
+        const std::uint64_t req =
+            ph == kWrite ? a->transfer + kRequestHeader : kRequestHeader;
+        const std::uint64_t rsp =
+            ph == kWrite ? kResponseHeader : a->transfer + kResponseHeader;
+        co_await a->cluster->send(a->node, srv, req);
+        // Server side — on the server's shard after a sharded send.
+        co_await a->svc[srv]->exec(kServerCpu);
+        hw::NvmeDevice& dev = a->cluster->node(srv).drive(drive);
+        if (ph == kWrite) {
+          co_await dev.write(a->transfer);
+        } else {
+          co_await dev.read(a->transfer);
+        }
+        co_await a->cluster->send(srv, a->node, rsp);
+        // Back home; record into this shard's lane.
+        PhaseResult& p = a->result->phase[ph];
+        const sim::Time end = a->home->now();
+        p.bytes += a->transfer;
+        p.ops += 1;
+        if (start < p.first_start) p.first_start = start;
+        if (end > p.last_end) p.last_end = end;
+        p.latency.add(end - start);
+      }
+    }
+    if (ph == kWrite) {
+      if (a->barrier != nullptr) {
+        co_await a->barrier->arriveAndWait();
+      } else {
+        co_await a->sbarrier->arriveAndWait(a->shard);
+      }
+    }
+  }
+}
+
+void mergeInto(RunResult& into, const RunResult& from) {
+  for (int ph = 0; ph < 2; ++ph) {
+    PhaseResult& a = into.phase[ph];
+    const PhaseResult& b = from.phase[ph];
+    a.bytes += b.bytes;
+    a.ops += b.ops;
+    if (b.first_start < a.first_start) a.first_start = b.first_start;
+    if (b.last_end > a.last_end) a.last_end = b.last_end;
+    a.latency.merge(b.latency);
+  }
+}
+
+void validate(const PdesOptions& o) {
+  if (o.server_nodes < 1 || o.client_nodes < 1 || o.procs_per_node < 1 ||
+      o.ops < 1 || o.drives_per_server < 1 || o.sim_jobs < 0) {
+    throw std::invalid_argument("runPdes: invalid topology");
+  }
+}
+
+}  // namespace
+
+std::uint64_t runDigest(const RunResult& r) {
+  std::uint64_t h = sim::hashCombine(0x9e3779b97f4a7c15ULL,
+                                     static_cast<std::uint64_t>(r.procs));
+  for (int ph = 0; ph < 2; ++ph) {
+    const PhaseResult& p = r.phase[ph];
+    h = sim::hashCombine(h, p.bytes);
+    h = sim::hashCombine(h, p.ops);
+    h = sim::hashCombine(h, p.first_start);
+    h = sim::hashCombine(h, p.last_end);
+    h = sim::hashCombine(h, p.latency.count());
+    h = sim::hashCombine(h, p.latency.min());
+    h = sim::hashCombine(h, p.latency.max());
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      const std::uint64_t c = p.latency.bucketCount(i);
+      if (c != 0) h = sim::hashCombine(sim::hashCombine(h, i), c);
+    }
+  }
+  return h;
+}
+
+PdesResult runPdes(const PdesOptions& o) {
+  validate(o);
+  const int procs = o.client_nodes * o.procs_per_node;
+  const int shards = o.sim_jobs;  // 0 = serial kernel
+  const hw::FabricSpec fabric;
+
+  // One Simulation (serial) or a ShardGroup; exactly one is engaged.
+  std::unique_ptr<sim::Simulation> serial_sim;
+  std::unique_ptr<sim::ShardGroup> group;
+  if (shards == 0) {
+    serial_sim = std::make_unique<sim::Simulation>(o.seed);
+  } else {
+    sim::ShardGroup::Options g;
+    g.shards = shards;
+    g.lookahead = fabric.latency;
+    g.seed = o.seed;
+    group = std::make_unique<sim::ShardGroup>(g);
+  }
+  std::unique_ptr<hw::Cluster> cluster =
+      group != nullptr ? std::make_unique<hw::Cluster>(*group, fabric)
+                       : std::make_unique<hw::Cluster>(*serial_sim, fabric);
+
+  // Servers get node ids [0, S), clients [S, S + C); both are spread
+  // round-robin over the shards so every shard owns a mix of both roles.
+  const int total_nodes = o.server_nodes + o.client_nodes;
+  auto shardOf = [&](int node_id) {
+    return group != nullptr ? node_id % group->shards() : 0;
+  };
+  for (int n = 0; n < o.server_nodes; ++n) {
+    cluster->addNode(hw::NodeSpec::server(o.drives_per_server), shardOf(n));
+  }
+  for (int n = o.server_nodes; n < total_nodes; ++n) {
+    cluster->addNode(hw::NodeSpec::client(), shardOf(n));
+  }
+  std::vector<std::unique_ptr<sim::QueueStation>> svc;
+  std::vector<sim::QueueStation*> svc_ptrs;
+  for (int srv = 0; srv < o.server_nodes; ++srv) {
+    svc.push_back(std::make_unique<sim::QueueStation>(
+        cluster->node(srv).sim(), "srv" + std::to_string(srv) + ".svc", 2));
+    svc_ptrs.push_back(svc.back().get());
+  }
+
+  const int lanes = group != nullptr ? group->shards() : 1;
+  std::vector<RunResult> results(static_cast<std::size_t>(lanes));
+  std::unique_ptr<sim::Barrier> barrier;
+  std::unique_ptr<sim::ShardBarrier> sbarrier;
+  if (group != nullptr) {
+    sbarrier = std::make_unique<sim::ShardBarrier>(
+        *group, static_cast<std::size_t>(procs));
+  } else {
+    barrier = std::make_unique<sim::Barrier>(*serial_sim,
+                                             static_cast<std::size_t>(procs));
+  }
+
+  std::vector<PdesProcArgs> args(static_cast<std::size_t>(procs));
+  std::vector<sim::ProcHandle> handles;
+  handles.reserve(static_cast<std::size_t>(procs));
+  for (int r = 0; r < procs; ++r) {
+    const hw::NodeId node =
+        static_cast<hw::NodeId>(o.server_nodes + r / o.procs_per_node);
+    const int shard = cluster->nodeShard(node);
+    PdesProcArgs& a = args[static_cast<std::size_t>(r)];
+    a.cluster = cluster.get();
+    a.home = &cluster->node(node).sim();
+    a.svc = svc_ptrs.data();
+    a.node = node;
+    a.shard = shard;
+    a.rank = r;
+    a.server_nodes = o.server_nodes;
+    a.drives = o.drives_per_server;
+    a.ops = o.ops;
+    a.transfer = o.transfer;
+    a.seed = o.seed;
+    a.barrier = barrier.get();
+    a.sbarrier = sbarrier.get();
+    a.result = &results[static_cast<std::size_t>(shard)];
+    a.phases[kWrite] = o.write_phase;
+    a.phases[kRead] = o.read_phase;
+    handles.push_back(a.home->spawn(pdesProc(&a)));
+  }
+
+  PdesResult out;
+  if (group != nullptr) {
+    out.events = group->run();
+    out.sync = group->stats();
+  } else {
+    out.events = serial_sim->run();
+  }
+  for (auto& h : handles) {
+    if (h.failed()) std::rethrow_exception(h.error());
+  }
+  out.run.procs = procs;
+  for (const RunResult& lane : results) mergeInto(out.run, lane);
+  out.digest = runDigest(out.run);
+  return out;
+}
+
+void writePdesStats(std::ostream& out, const PdesResult& r) {
+  char line[160];
+  out << "\n-- shard sync --\n";
+  std::snprintf(line, sizeof(line), "%-22s %d\n", "shards", r.sync.shards);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 " ns\n", "lookahead",
+                static_cast<std::uint64_t>(r.sync.lookahead));
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "windows",
+                r.sync.windows);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n",
+                "cross-shard posts", r.sync.cross_posts);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "barrier releases",
+                r.sync.barrier_releases);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "late releases",
+                r.sync.late_releases);
+  out << line;
+  std::snprintf(line, sizeof(line), "%-22s %zu\n", "events", r.events);
+  out << line;
+  for (std::size_t i = 0; i < r.sync.shard_events.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  shard%-18zu %zu\n", i,
+                  r.sync.shard_events[i]);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "%-22s %016" PRIx64 "\n", "result digest",
+                r.digest);
+  out << line;
+}
+
+}  // namespace daosim::apps

@@ -1,0 +1,71 @@
+// Sharded SPMD harness: the --bench pdes workload.
+//
+// A hardware-level object-store workload built directly on hw::Cluster —
+// clients pick a server per op, ship the payload over the NIC model, burn a
+// fixed server-CPU cost on the target's service station, hit one NVMe
+// device and ship the response back — with a barrier between the write and
+// read phases. It exists to exercise and measure intra-run parallelism
+// (sim::ShardGroup): unlike the full DAOS/Lustre/Ceph protocol stacks,
+// which are built against a single sim::Simulation, every object this
+// workload touches is owned by exactly one node, so nodes can be
+// partitioned across event-queue shards.
+//
+// The same workload code runs in two modes:
+//   * sim_jobs == 0 — the classic serial kernel (one Simulation, one
+//     sim::Barrier); this is the --sim-jobs 1 default and the equality
+//     baseline;
+//   * sim_jobs >= 1 — a ShardGroup with that many shards, nodes assigned
+//     round-robin, lookahead = fabric latency, a ShardBarrier between
+//     phases, and per-shard RunResult lanes merged commutatively.
+//
+// Determinism and serial equality: every client process owns an RNG lane
+// seeded from (seed, rank), so its op sequence is mode-independent; a
+// deterministic per-rank start stagger plus per-op think jitter keeps
+// cross-shard arrivals from tying at the same nanosecond on one station,
+// which is the only way the sharded total order could diverge from the
+// serial one. tests/kernel_test.cc asserts full RunResult equality
+// (histogram buckets included) across random topologies and seeds.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "apps/runner.h"
+#include "sim/shard.h"
+
+namespace daosim::apps {
+
+struct PdesOptions {
+  int server_nodes = 4;
+  int client_nodes = 4;
+  int procs_per_node = 4;       ///< client processes per client node
+  std::uint64_t ops = 32;       ///< per process, per phase
+  std::uint64_t transfer = 1 << 20;
+  int drives_per_server = 4;
+  std::uint64_t seed = 1;
+  /// Event-queue shards: 0 = the plain serial kernel (no ShardGroup at
+  /// all); N >= 1 = a windowed ShardGroup with N shards (1 measures the
+  /// protocol overhead without parallelism).
+  int sim_jobs = 0;
+  bool write_phase = true;
+  bool read_phase = true;
+};
+
+struct PdesResult {
+  RunResult run;
+  std::size_t events = 0;      ///< kernel events processed (all shards)
+  sim::ShardSyncStats sync;    ///< zeroed in serial mode
+  std::uint64_t digest = 0;    ///< runDigest(run)
+};
+
+/// Order-insensitive fingerprint of a RunResult: procs, per-phase
+/// bytes/ops/first/last and every latency bucket plus min/max. Two runs
+/// with equal digests agree on everything daosim_run prints.
+std::uint64_t runDigest(const RunResult& r);
+
+PdesResult runPdes(const PdesOptions& o);
+
+/// Shard-sync rows for daosim_run --stats.
+void writePdesStats(std::ostream& out, const PdesResult& r);
+
+}  // namespace daosim::apps

@@ -16,6 +16,7 @@
 #include "hw/spec.h"
 #include "obs/observer.h"
 #include "sim/queue_station.h"
+#include "sim/shard.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
 
@@ -35,7 +36,8 @@ class NetworkDown : public std::runtime_error {
 class Node {
  public:
   Node(sim::Simulation& sim, NodeId id, const NodeSpec& spec)
-      : id_(id),
+      : sim_(&sim),
+        id_(id),
         spec_(spec),
         tx_(sim, "node" + std::to_string(id) + ".tx", 1),
         rx_(sim, "node" + std::to_string(id) + ".rx", 1) {
@@ -53,6 +55,10 @@ class Node {
   NodeId id() const noexcept { return id_; }
   const NodeSpec& spec() const noexcept { return spec_; }
 
+  /// The simulation this node's stations and devices schedule on — the
+  /// owning shard's, in a sharded cluster.
+  sim::Simulation& sim() noexcept { return *sim_; }
+
   sim::QueueStation& tx() noexcept { return tx_; }
   sim::QueueStation& rx() noexcept { return rx_; }
 
@@ -67,6 +73,7 @@ class Node {
   }
 
  private:
+  sim::Simulation* sim_;
   NodeId id_;
   NodeSpec spec_;
   sim::QueueStation tx_;
@@ -79,12 +86,32 @@ class Cluster {
   explicit Cluster(sim::Simulation& sim, FabricSpec fabric = {})
       : sim_(&sim), fabric_(fabric) {}
 
+  /// Sharded cluster: nodes are placed on the shards of `group` (see
+  /// addNode's shard parameter) and cross-node sends become coroutine
+  /// migrations. Requires the group's lookahead to not exceed the fabric
+  /// latency — the conservative-safety bound for NIC sends. Fault
+  /// injection, observers and telemetry are not supported on the sharded
+  /// path (enforced by the callers that enable sharding).
+  explicit Cluster(sim::ShardGroup& group, FabricSpec fabric = {})
+      : sim_(&group.shard(0)), group_(&group), fabric_(fabric) {
+    if (group.lookahead() > fabric_.latency) {
+      throw std::invalid_argument(
+          "Cluster: shard lookahead exceeds the fabric latency; cross-node "
+          "sends would deliver inside the synchronization window");
+    }
+    shard_ctr_.resize(static_cast<std::size_t>(group.shards()));
+  }
+
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  NodeId addNode(const NodeSpec& spec) {
+  NodeId addNode(const NodeSpec& spec, int shard = 0) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
-    nodes_.push_back(std::make_unique<Node>(*sim_, id, spec));
+    assert(shard == 0 || group_ != nullptr);
+    sim::Simulation& owner =
+        group_ != nullptr ? group_->shard(shard) : *sim_;
+    nodes_.push_back(std::make_unique<Node>(owner, id, spec));
+    node_shard_.push_back(shard);
     return id;
   }
 
@@ -96,6 +123,11 @@ class Cluster {
   }
 
   sim::Simulation& sim() noexcept { return *sim_; }
+  /// Non-null when the cluster runs on a shard group.
+  sim::ShardGroup* shardGroup() noexcept { return group_; }
+  int nodeShard(NodeId id) const noexcept {
+    return node_shard_[static_cast<std::size_t>(id)];
+  }
   const FabricSpec& fabric() const noexcept { return fabric_; }
   std::size_t nodeCount() const noexcept { return nodes_.size(); }
 
@@ -110,9 +142,19 @@ class Cluster {
   /// fabric latency, so a single stream achieves full NIC bandwidth while
   /// both endpoints still contend at their NICs. Same-node messages skip the
   /// NIC (loopback). A nonzero `op` records the whole transfer as one leg of
-  /// category `cat` on the sender's "net" track.
+  /// category `cat` on the sender's "net" track. On a sharded cluster the
+  /// caller must be running on `src`'s shard, and the awaiting coroutine
+  /// resumes on `dst`'s shard (where the payload now is — subsequent
+  /// server-side stations are local again).
   sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes,
                        obs::OpId op = 0, obs::Cat cat = obs::Cat::kOther) {
+    return group_ != nullptr ? shardedSend(src, dst, bytes, cat)
+                             : serialSend(src, dst, bytes, op, cat);
+  }
+
+ private:
+  sim::Task<void> serialSend(NodeId src, NodeId dst, std::uint64_t bytes,
+                             obs::OpId op, obs::Cat cat) {
     // A flapped NIC drops the message after one fabric latency (loopback
     // does not traverse the NIC). Messages already past this check when
     // the link goes down complete normally — they are on the wire.
@@ -165,18 +207,95 @@ class Cluster {
     finishSend(src, op, cat, started, send_leg);
   }
 
-  std::uint64_t messages() const noexcept { return messages_; }
-  std::uint64_t bytesSent() const noexcept { return bytes_sent_; }
+  /// Sharded send. Exactly the serial timing, restructured so the message
+  /// is a one-way coroutine migration instead of a spawn-and-join:
+  ///
+  ///   serial:  completion = max(tx.exec done, rx.exec done after latency)
+  ///   sharded: T_tx = src.tx.reserve(tx_time)          — at t0, no suspend
+  ///            migrate to dst's shard at t0 + latency  — >= lookahead away
+  ///            T_rx = dst.rx.reserve(rx_time)          — at t0 + latency
+  ///            delay until max(T_tx, T_rx)
+  ///
+  /// reserve() returns the same completion instant the semaphore FIFO would
+  /// (single-server stations used uniformly through reserve), and the
+  /// return edge that made the serial shape unshardable — delivery.join()
+  /// completing *at* T_tx with zero latency back to the sender — is gone:
+  /// the sender's side is fully accounted before the migration departs.
+  /// Per-shard counter blocks keep the bookkeeping race-free; rx bytes are
+  /// noted at arrival (not at t0 as serially), which shifts no totals.
+  sim::Task<void> shardedSend(NodeId src, NodeId dst, std::uint64_t bytes,
+                              obs::Cat cat) {
+    Node& s = node(src);
+    const int sshard = nodeShard(src);
+    sim::Simulation& ssim = s.sim();
+    {
+      ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
+      c.messages += 1;
+      c.bytes_sent += bytes;
+      if (cat == obs::Cat::kNetRequest) ++c.rpc_requests;
+      if (cat == obs::Cat::kNetResponse) ++c.rpc_responses;
+      ++c.inflight;
+    }
+    const sim::Time started = ssim.now();
+    if (src == dst) {
+      co_await ssim.delay(2 * sim::kMicrosecond);  // loopback hop
+      ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
+      --c.inflight;
+      c.send_ns += ssim.now() - started;
+      co_return;
+    }
+    Node& d = node(dst);
+    const int dshard = nodeShard(dst);
+    const std::uint64_t wire = bytes + fabric_.header_bytes;
+    s.tx().noteBytes(wire);
+    const sim::Time tx_time =
+        s.spec().nic.per_message + transferTime(wire, s.spec().nic.gibps);
+    const sim::Time rx_time =
+        d.spec().nic.per_message + transferTime(wire, d.spec().nic.gibps);
+    const sim::Time t_tx = s.tx().reserve(tx_time);
+    if (sshard == dshard) {
+      co_await ssim.delay(fabric_.latency);
+    } else {
+      co_await group_->migrate(sshard, dshard, started + fabric_.latency);
+    }
+    // From here the coroutine runs on dst's shard, at started + latency.
+    sim::Simulation& dsim = d.sim();
+    d.rx().noteBytes(wire);
+    const sim::Time t_rx = d.rx().reserve(rx_time);
+    const sim::Time done = t_tx > t_rx ? t_tx : t_rx;
+    if (done > dsim.now()) co_await dsim.delay(done - dsim.now());
+    ShardCounters& c = shard_ctr_[static_cast<std::size_t>(dshard)];
+    --c.inflight;
+    c.send_ns += dsim.now() - started;
+  }
+
+ public:
+  std::uint64_t messages() const noexcept {
+    return sumCtr(messages_, &ShardCounters::messages);
+  }
+  std::uint64_t bytesSent() const noexcept {
+    return sumCtr(bytes_sent_, &ShardCounters::bytes_sent);
+  }
 
   // --- telemetry feed (see obs/telemetry.h) ---------------------------
   /// Messages currently between send() entry and delivery.
-  std::uint64_t inflightSends() const noexcept { return inflight_sends_; }
+  std::uint64_t inflightSends() const noexcept {
+    std::int64_t n = static_cast<std::int64_t>(inflight_sends_);
+    for (const auto& c : shard_ctr_) n += c.inflight;
+    return n > 0 ? static_cast<std::uint64_t>(n) : 0;
+  }
   /// Cumulative wall time of completed sends (per-leg latency: divide the
   /// per-bin delta by the message-rate delta).
-  sim::Time totalSendTime() const noexcept { return send_ns_; }
+  sim::Time totalSendTime() const noexcept {
+    return sumCtr(send_ns_, &ShardCounters::send_ns);
+  }
   /// RPC legs by direction (net::request / net::respond pass the category).
-  std::uint64_t rpcRequests() const noexcept { return rpc_requests_; }
-  std::uint64_t rpcResponses() const noexcept { return rpc_responses_; }
+  std::uint64_t rpcRequests() const noexcept {
+    return sumCtr(rpc_requests_, &ShardCounters::rpc_requests);
+  }
+  std::uint64_t rpcResponses() const noexcept {
+    return sumCtr(rpc_responses_, &ShardCounters::rpc_responses);
+  }
 
   // --- fault injection (see sim/fault_plan.h, net/retry.h) ------------
   /// Administratively takes a node's NIC down/up (fault-plan flaps). The
@@ -202,6 +321,25 @@ class Cluster {
   std::uint64_t sendFailures() const noexcept { return send_failures_; }
 
  private:
+  /// Send bookkeeping for one shard, cache-line separated so concurrent
+  /// shards never write the same line. inflight is signed: a cross-shard
+  /// send enters on the source block and exits on the destination's.
+  struct alignas(64) ShardCounters {
+    std::uint64_t messages = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t rpc_requests = 0;
+    std::uint64_t rpc_responses = 0;
+    std::int64_t inflight = 0;
+    sim::Time send_ns = 0;
+  };
+
+  template <typename T, typename M>
+  T sumCtr(T serial, M ShardCounters::* m) const noexcept {
+    T total = serial;
+    for (const auto& c : shard_ctr_) total += static_cast<T>(c.*m);
+    return total;
+  }
+
   void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started,
                   obs::LegId leg) {
     --inflight_sends_;
@@ -214,8 +352,11 @@ class Cluster {
   }
 
   sim::Simulation* sim_;
+  sim::ShardGroup* group_ = nullptr;
   FabricSpec fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<int> node_shard_;           // all zero on a serial cluster
+  std::vector<ShardCounters> shard_ctr_;  // empty on a serial cluster
   std::uint64_t messages_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t inflight_sends_ = 0;

@@ -4,13 +4,21 @@
 
 namespace daosim::sim {
 
-int envJobs() {
+int envSweepJobs() {
   int jobs = 0;
   if (const char* v = std::getenv("DAOSIM_JOBS")) {
     jobs = std::atoi(v);
   }
   if (jobs <= 0) {
     jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  return jobs > 0 ? jobs : 1;
+}
+
+int envSimJobs() {
+  int jobs = 0;
+  if (const char* v = std::getenv("DAOSIM_SIM_JOBS")) {
+    jobs = std::atoi(v);
   }
   return jobs > 0 ? jobs : 1;
 }
@@ -31,6 +39,12 @@ ParallelRunner::~ParallelRunner() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+}
+
+void ParallelRunner::noteFailure(std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (first_error_ == nullptr) first_error_ = std::move(e);
+  failed_.store(true, std::memory_order_release);
 }
 
 void ParallelRunner::enqueue(std::function<void()> job) {

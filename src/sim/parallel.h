@@ -8,29 +8,58 @@
 // parallel executions produce bitwise-identical results as long as callers
 // aggregate in submission order — which submit()/map() make natural.
 //
-// DAOSIM_JOBS selects the worker count (default: hardware concurrency;
-// 1 restores fully serial, inline execution with no threads at all).
+// Failure contract: the first job that throws poisons the pool — jobs that
+// have not started yet are skipped and their futures carry JobCancelled
+// instead (fail fast: a thousand-cell sweep stops within one job of the
+// first failure rather than running to completion). Jobs already running
+// finish normally. map() translates this for you, rethrowing the first real
+// error in submission-index order; callers holding raw futures can fall
+// back to firstError().
+//
+// Two distinct parallelism knobs exist in the simulator; this one is
+// *sweep-level* (whole independent simulations). Intra-run parallelism —
+// sharding one simulation's event queue across threads — is sim::ShardGroup
+// (sim/shard.h), selected by --sim-jobs / DAOSIM_SIM_JOBS.
+//
+// DAOSIM_JOBS selects the sweep worker count (default: hardware
+// concurrency; 1 restores fully serial, inline execution with no threads).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 namespace daosim::sim {
 
-/// DAOSIM_JOBS, clamped to >= 1; unset or 0 means hardware concurrency.
-int envJobs();
+/// DAOSIM_JOBS (sweep cells), clamped to >= 1; unset or 0 means hardware
+/// concurrency.
+int envSweepJobs();
+
+/// DAOSIM_SIM_JOBS (event-queue shards within one run), clamped to >= 1;
+/// unset or 0 means 1 — the serial kernel, which stays the default.
+int envSimJobs();
+
+/// Carried by the futures of jobs skipped after an earlier job failed; the
+/// originating error is ParallelRunner::firstError().
+class JobCancelled : public std::runtime_error {
+ public:
+  JobCancelled()
+      : std::runtime_error("job skipped: an earlier pool job failed") {}
+};
 
 class ParallelRunner {
  public:
-  explicit ParallelRunner(int jobs = envJobs());
+  explicit ParallelRunner(int jobs = envSweepJobs());
 
   /// Drains the queue and joins the workers.
   ~ParallelRunner();
@@ -40,19 +69,36 @@ class ParallelRunner {
 
   int jobs() const noexcept { return jobs_; }
 
+  /// The first failure (in wall-clock order) any job reported; null while
+  /// all jobs have succeeded. Stable once set.
+  std::exception_ptr firstError() const {
+    std::lock_guard<std::mutex> lock(err_mu_);
+    return first_error_;
+  }
+
   /// Enqueues `fn` and returns its future. With jobs() == 1 the job runs
   /// inline before returning (exactly the serial behavior, no threads).
   template <typename Fn>
   auto submit(Fn fn) -> std::future<std::invoke_result_t<Fn&>> {
     using R = std::invoke_result_t<Fn&>;
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [this, fn = std::move(fn)]() mutable -> R {
+          if (failed_.load(std::memory_order_acquire)) throw JobCancelled();
+          try {
+            return fn();
+          } catch (...) {
+            noteFailure(std::current_exception());
+            throw;
+          }
+        });
     std::future<R> future = task->get_future();
     enqueue([task] { (*task)(); });
     return future;
   }
 
   /// Runs fn(0) .. fn(n-1) across the pool and returns the results in index
-  /// order (so aggregation order never depends on completion order).
+  /// order (so aggregation order never depends on completion order). On
+  /// failure, rethrows the first real (non-cancellation) error by index.
   template <typename Fn>
   auto map(std::size_t n, Fn&& fn)
       -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
@@ -64,13 +110,27 @@ class ParallelRunner {
     }
     std::vector<R> out;
     out.reserve(n);
-    for (auto& f : futures) out.push_back(f.get());
+    std::exception_ptr error;
+    for (auto& f : futures) {
+      try {
+        out.push_back(f.get());
+      } catch (const JobCancelled&) {
+        // A skipped job: the real error lives in another future (or, if
+        // that future is also being skipped over, in first_error_).
+      } catch (...) {
+        if (error == nullptr) error = std::current_exception();
+      }
+    }
+    if (error == nullptr && out.size() != n) error = firstError();
+    if (error != nullptr) std::rethrow_exception(error);
+    if (out.size() != n) throw JobCancelled();  // defensive: never silently short
     return out;
   }
 
  private:
   void enqueue(std::function<void()> job);
   void workerLoop();
+  void noteFailure(std::exception_ptr e);
 
   int jobs_;
   std::vector<std::thread> workers_;
@@ -78,6 +138,9 @@ class ParallelRunner {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<bool> failed_{false};
+  mutable std::mutex err_mu_;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace daosim::sim

@@ -56,6 +56,30 @@ class QueueStation {
     }
   }
 
+  /// Reserves the single server for `service` time starting now, without
+  /// suspending, and returns the completion time. For a single-server FIFO
+  /// station exec()'s completion instant is fully determined at enqueue —
+  /// completion = max(now, previous completion) + service — so a caller
+  /// that needs the timestamp *before* the work completes can take it
+  /// analytically. The sharded Cluster send path depends on this: the
+  /// transmit-side completion must travel with the message to the receiving
+  /// shard, and suspending on the sender's semaphore would create a
+  /// zero-lookahead return edge. Bookkeeping (ops, wait, busy, wait
+  /// histogram) matches exec() exactly. A station must be driven through
+  /// either exec() or reserve() for a whole run, never a mix: exec() queues
+  /// on the semaphore, which does not see reservations.
+  Time reserve(Time service) {
+    const Time now = sim_->now();
+    const Time start = free_at_ > now ? free_at_ : now;
+    const Time wait = start - now;
+    wait_ns_ += wait;
+    if (sim_->observer() != nullptr) wait_hist_.add(wait);
+    free_at_ = start + service;
+    busy_ns_ += service;
+    ++ops_;
+    return free_at_;
+  }
+
   /// Manually occupies a server for work whose duration is not known up
   /// front (e.g. a FUSE thread held across a backend operation). Returns the
   /// acquisition time; pass it to leave() so the hold is accumulated into
@@ -122,6 +146,7 @@ class QueueStation {
   }
 
   void resetStats() noexcept {
+    free_at_ = 0;
     ops_ = 0;
     busy_ns_ = 0;
     wait_ns_ = 0;
@@ -143,6 +168,7 @@ class QueueStation {
   Simulation* sim_;
   std::string name_;
   Semaphore sem_;
+  Time free_at_ = 0;  ///< reservation clock (reserve() path only)
   std::uint64_t ops_ = 0;
   Time busy_ns_ = 0;
   Time wait_ns_ = 0;

@@ -1,0 +1,227 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace daosim::sim {
+
+ShardBarrier::ShardBarrier(ShardGroup& group, std::size_t parties)
+    : group_(&group), parties_(parties) {
+  assert(parties > 0);
+  lanes_.resize(static_cast<std::size_t>(group.shards()));
+  group.barriers_.push_back(this);
+}
+
+void ShardBarrier::arrive(int shard, std::coroutine_handle<> h) {
+  auto& lane = lanes_[static_cast<std::size_t>(shard)];
+  lane.push_back(Arrival{group_->shard(shard).now(), h});
+}
+
+std::size_t ShardBarrier::arrived() const noexcept {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane.size();
+  return n;
+}
+
+ShardGroup::ShardGroup(const Options& opts)
+    : lookahead_(opts.lookahead), max_window_events_(opts.max_window_events) {
+  if (opts.shards < 1) {
+    throw std::invalid_argument("ShardGroup: shards must be >= 1");
+  }
+  if (opts.shards > 1 && opts.lookahead == 0) {
+    throw std::invalid_argument(
+        "ShardGroup: zero lookahead cannot synchronize more than one shard");
+  }
+  const auto n = static_cast<std::size_t>(opts.shards);
+  sims_.reserve(n);
+  boxes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Per-shard RNG lane: shard i's kernel PRNG stream is a deterministic
+    // function of (seed, i) and never depends on the other shards.
+    sims_.push_back(
+        std::make_unique<Simulation>(hashCombine(opts.seed, 0xdaa5u + i)));
+    boxes_.push_back(std::make_unique<Mailbox>());
+  }
+  post_seq_.assign(n, std::vector<std::uint64_t>(n, 0));
+  errors_.assign(n, nullptr);
+  stats_.shards = opts.shards;
+  stats_.lookahead = lookahead_;
+  stats_.shard_events.assign(n, 0);
+  if (opts.shards > 1) {
+    workers_.reserve(n);
+    for (int i = 0; i < opts.shards; ++i) {
+      workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ShardGroup::post(int src, int dst, Time t, std::coroutine_handle<> h) {
+  assert(src != dst && "migrate() to the same shard");
+  assert(t >= window_end_ &&
+         "cross-shard post inside the current window: the migration "
+         "latency is below the group's lookahead");
+  auto& seq = post_seq_[static_cast<std::size_t>(src)]
+                       [static_cast<std::size_t>(dst)];
+  Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.items.push_back(MailboxEntry{t, src, seq++, h});
+}
+
+void ShardGroup::runShardWindow(int shard) {
+  auto& s = *sims_[static_cast<std::size_t>(shard)];
+  try {
+    stats_.shard_events[static_cast<std::size_t>(shard)] +=
+        s.runWindow(window_end_, max_window_events_);
+  } catch (...) {
+    errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+  }
+}
+
+void ShardGroup::workerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    runShardWindow(shard);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardGroup::runOneWindow(Time window_end) {
+  ++stats_.windows;
+  window_end_ = window_end;
+  if (workers_.empty()) {
+    runShardWindow(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_ = shards();
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+}
+
+std::size_t ShardGroup::flushMailboxes() {
+  std::size_t delivered = 0;
+  for (int dst = 0; dst < shards(); ++dst) {
+    Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
+    std::vector<MailboxEntry> items;
+    {
+      std::lock_guard<std::mutex> lock(box.mu);
+      items.swap(box.items);
+    }
+    if (items.empty()) continue;
+    // (time, source shard, source post index): a total order independent of
+    // thread scheduling, so the destination's (time, seq) assignment — and
+    // with it everything downstream — is reproducible.
+    std::sort(items.begin(), items.end(),
+              [](const MailboxEntry& a, const MailboxEntry& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.src != b.src) return a.src < b.src;
+                return a.idx < b.idx;
+              });
+    Simulation& s = *sims_[static_cast<std::size_t>(dst)];
+    for (const MailboxEntry& e : items) {
+      assert(e.t >= s.now());
+      s.scheduleAt(e.t, e.h);
+    }
+    delivered += items.size();
+  }
+  stats_.cross_posts += delivered;
+  return delivered;
+}
+
+bool ShardGroup::resolveBarriers() {
+  bool released = false;
+  for (ShardBarrier* b : barriers_) {
+    if (b->parties_ == 0 || b->arrived() < b->parties_) continue;
+    assert(b->arrived() == b->parties_ && "barrier overshot its party count");
+    Time release_at = 0;
+    for (const auto& lane : b->lanes_) {
+      for (const auto& a : lane) release_at = std::max(release_at, a.t);
+    }
+    // A shard whose clock ran past the last arrival (possible only when
+    // non-barrier work outlives the rendezvous) would otherwise receive a
+    // past-time event; clamp and count, like scheduleAt's past-clamp guard.
+    for (int i = 0; i < shards(); ++i) {
+      if (!b->lanes_[static_cast<std::size_t>(i)].empty() &&
+          shard(i).now() > release_at) {
+        release_at = shard(i).now();
+        ++stats_.late_releases;
+      }
+    }
+    for (int i = 0; i < shards(); ++i) {
+      auto& lane = b->lanes_[static_cast<std::size_t>(i)];
+      for (const auto& a : lane) shard(i).scheduleAt(release_at, a.h);
+      lane.clear();
+    }
+    ++b->generation_;
+    ++stats_.barrier_releases;
+    ++stats_.windows;  // the release round is a (degenerate) window
+    released = true;
+  }
+  return released;
+}
+
+std::size_t ShardGroup::run() {
+  for (;;) {
+    // Deliver pending migrations before computing the horizon. This also
+    // covers posts made before the first window: spawn() runs a process
+    // eagerly until its first suspension, so a cross-shard send issued
+    // with no prior delay lands in a mailbox before run() begins.
+    flushMailboxes();
+    Time gmin = Simulation::kNever;
+    for (const auto& s : sims_) gmin = std::min(gmin, s->nextEventTime());
+    if (gmin == Simulation::kNever) {
+      if (resolveBarriers()) continue;
+      std::size_t waiting = 0;
+      for (const ShardBarrier* b : barriers_) waiting += b->arrived();
+      if (waiting > 0) {
+        throw std::runtime_error(
+            "ShardGroup: quiescent with incomplete barrier arrivals "
+            "(a participant exited or deadlocked)");
+      }
+      break;
+    }
+    // Events strictly below gmin + lookahead are safe: an effect emitted at
+    // t >= gmin lands at t + lookahead >= the horizon, never inside it. An
+    // event exactly at the horizon waits for the next round (it could tie
+    // with an incoming migration). Saturating add; lookahead 0 (legal only
+    // single-shard) degenerates to one unbounded window.
+    const Time window_end =
+        lookahead_ == 0 || gmin > Simulation::kNever - lookahead_
+            ? Simulation::kNever
+            : gmin + lookahead_;
+    runOneWindow(window_end);
+    for (auto& e : errors_) {
+      if (e != nullptr) std::rethrow_exception(std::exchange(e, nullptr));
+    }
+  }
+  stats_.events = 0;
+  for (std::size_t n : stats_.shard_events) stats_.events += n;
+  return stats_.events;
+}
+
+}  // namespace daosim::sim

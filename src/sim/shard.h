@@ -1,0 +1,222 @@
+// Conservative parallel DES: per-shard event queues with lookahead windows.
+//
+// A ShardGroup owns K Simulations ("shards"), each with its own two-level
+// event queue, clock, sequence counter and RNG lane, and runs them on K
+// persistent worker threads using classic conservative (time-window)
+// synchronization:
+//
+//   1. gmin       = min over shards of nextEventTime()
+//   2. window_end = gmin + lookahead
+//   3. every shard executes, in parallel, all its events with t < window_end
+//      (Simulation::runWindow); a shard never touches another shard's state
+//   4. barrier; inter-shard mailboxes are flushed in a deterministic order;
+//      repeat from 1.
+//
+// The lookahead is the minimum cross-shard interaction latency — for the
+// simulated machine room, the fabric's one-way latency (hw::FabricSpec):
+// nothing a shard does at time t can affect another shard before t +
+// lookahead, so every event below window_end is safe to run without seeing
+// the other shards' windows. Cross-shard interactions are coroutine
+// *migrations*: the sending coroutine suspends on migrate() and its handle
+// is posted to the destination shard's mailbox with an absolute resume time
+// (>= window_end by the lookahead argument, asserted), where it continues
+// on the destination's thread. Coroutine frames move freely between threads
+// — the FramePool explicitly supports cross-thread free (sim/pool.h).
+//
+// Determinism: each shard is single-threaded and processes its queue in
+// exact (time, seq) order, so a shard's execution depends only on the
+// sequence of (time-stamped) mailbox deliveries it receives. Mailboxes are
+// flushed at window barriers, sorted by (resume time, source shard, source
+// post index) — all three components are scheduling-independent — so two
+// runs with the same seed and shard count are identical. Results that merge
+// *across* shards must use commutative/associative aggregation (histogram
+// bucket adds, min/max, sums), the same contract sweep-level parallelism
+// has relied on since the telemetry and exemplar mergers. Note the serial
+// kernel is a different total order: per-shard runs are deterministic and
+// agree with serial runs wherever cross-shard arrivals do not tie at the
+// exact same nanosecond on one station (workloads de-tie with deterministic
+// per-rank jitter; tests assert full RunResult equality).
+//
+// Group-wide rendezvous (the SPMD phase barrier) cannot be a plain
+// sim::Barrier — its parties live on different shards, and the last arrival
+// is only known once every shard has drained. ShardBarrier therefore
+// resolves at *quiescence*: when all queues and mailboxes are empty, any
+// barrier whose arrival count is complete releases its waiters at the
+// maximum arrival time, exactly the serial Barrier's release time.
+#pragma once
+
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/time.h"
+
+namespace daosim::sim {
+
+class ShardGroup;
+
+/// Synchronization-protocol counters, reported under daosim_run --stats.
+struct ShardSyncStats {
+  int shards = 0;
+  Time lookahead = 0;
+  std::uint64_t windows = 0;           ///< synchronization rounds executed
+  std::uint64_t cross_posts = 0;       ///< coroutine migrations between shards
+  std::uint64_t barrier_releases = 0;  ///< quiescence barrier resolutions
+  std::uint64_t late_releases = 0;     ///< releases clamped to a shard clock
+  std::size_t events = 0;              ///< events processed, all shards
+  std::vector<std::size_t> shard_events;
+};
+
+/// Cyclic barrier whose parties are spread across the shards of one group.
+/// arriveAndWait(shard) must be called from a coroutine running on `shard`;
+/// the release is injected by the group at quiescence (see file comment).
+class ShardBarrier {
+ public:
+  ShardBarrier(ShardGroup& group, std::size_t parties);
+
+  auto arriveAndWait(int shard) noexcept {
+    struct Awaiter {
+      ShardBarrier* b;
+      int shard;
+      bool await_ready() const noexcept { return b->parties_ == 1; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        b->arrive(shard, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, shard};
+  }
+
+  std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  friend class ShardGroup;
+
+  struct Arrival {
+    Time t = 0;
+    std::coroutine_handle<> h;
+  };
+
+  void arrive(int shard, std::coroutine_handle<> h);
+  std::size_t arrived() const noexcept;
+
+  ShardGroup* group_;
+  std::size_t parties_;
+  std::uint64_t generation_ = 0;
+  // One lane per shard, written only by that shard's thread during windows
+  // and read by the coordinator at quiescence (the window barrier orders
+  // the accesses, so no atomics are needed).
+  std::vector<std::vector<Arrival>> lanes_;
+};
+
+class ShardGroup {
+ public:
+  struct Options {
+    int shards = 1;
+    /// Minimum cross-shard interaction latency; every migrate() must target
+    /// a time >= sender-now + lookahead. Must be > 0 when shards > 1.
+    Time lookahead = 0;
+    std::uint64_t seed = 1;
+    /// Per-shard event budget for a single window (livelock guard).
+    std::size_t max_window_events = ~std::size_t{0};
+  };
+
+  explicit ShardGroup(const Options& opts);
+  ~ShardGroup();
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  int shards() const noexcept { return static_cast<int>(sims_.size()); }
+  Time lookahead() const noexcept { return lookahead_; }
+  Simulation& shard(int i) noexcept { return *sims_[static_cast<size_t>(i)]; }
+
+  /// Runs all shards to quiescence, resolving group barriers along the way;
+  /// returns the total number of events processed. Rethrows the first (by
+  /// shard index) exception that escapes a shard's window, without starting
+  /// further windows. With shards == 1 the same window loop runs inline on
+  /// the calling thread — no worker threads, same protocol overhead — which
+  /// is what bench_pdes uses to price the windowing itself.
+  std::size_t run();
+
+  const ShardSyncStats& stats() const noexcept { return stats_; }
+
+  /// Awaitable migrating the current coroutine from shard `src` to shard
+  /// `dst` (!= src), resuming there at absolute time `t`. Conservative
+  /// safety requires t >= sender-now + lookahead; the mailbox asserts the
+  /// weaker (implied) invariant t >= window_end.
+  auto migrate(int src, int dst, Time t) noexcept {
+    struct Awaiter {
+      ShardGroup* g;
+      int src, dst;
+      Time t;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        g->post(src, dst, t, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, src, dst, t};
+  }
+
+  /// Posts a raw resumption to `dst`'s mailbox (migrate()'s implementation;
+  /// exposed for protocol tests). Called from `src`'s worker thread.
+  void post(int src, int dst, Time t, std::coroutine_handle<> h);
+
+ private:
+  friend class ShardBarrier;
+
+  struct MailboxEntry {
+    Time t = 0;
+    int src = 0;
+    std::uint64_t idx = 0;  ///< per-(src,dst) post counter, sender-ordered
+    std::coroutine_handle<> h;
+  };
+
+  /// One inbox per destination shard; senders append under the lock during
+  /// windows, the coordinator drains between windows.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<MailboxEntry> items;
+  };
+
+  void runOneWindow(Time window_end);
+  void workerLoop(int shard);
+  void runShardWindow(int shard);
+  /// Drains every mailbox into its shard's queue in deterministic order;
+  /// returns the number of migrations delivered.
+  std::size_t flushMailboxes();
+  /// At quiescence: releases every complete barrier; returns true if any
+  /// new events were injected.
+  bool resolveBarriers();
+
+  Time lookahead_ = 0;
+  std::size_t max_window_events_;
+  std::vector<std::unique_ptr<Simulation>> sims_;
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+  // post_seq_[src][dst]: owned by src's thread, no sharing within a window.
+  std::vector<std::vector<std::uint64_t>> post_seq_;
+  std::vector<ShardBarrier*> barriers_;  // registration order
+  std::vector<std::exception_ptr> errors_;
+  ShardSyncStats stats_;
+
+  // Window dispatch protocol: the coordinator bumps generation_ with
+  // window_end_ set, workers run their shard's window and report back via
+  // pending_; all fields below mu_.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  Time window_end_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace daosim::sim

@@ -28,12 +28,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/fault_injector.h"
 #include "apps/fdb.h"
 #include "apps/fieldio.h"
 #include "apps/ior.h"
+#include "apps/pdes.h"
 #include "apps/runner.h"
 #include "apps/stats_report.h"
 #include "apps/sweep.h"
@@ -60,7 +62,8 @@ struct Options {
   std::uint64_t ops = 0;  // 0 = auto-scale
   std::uint64_t transfer = 1 << 20;
   int reps = 3;
-  int jobs = 0;  // 0 = DAOSIM_JOBS / hardware concurrency
+  int jobs = 0;      // 0 = DAOSIM_JOBS / hardware concurrency (sweep cells)
+  int sim_jobs = 0;  // 0 = DAOSIM_SIM_JOBS / 1 (serial kernel)
   std::uint64_t seed = 1;
   int pgs = 1024;
   int replicas = 1;
@@ -88,11 +91,12 @@ struct Options {
   }
   std::fprintf(
       stderr,
-      "usage: %s [--system daos|lustre|ceph] [--bench ior|fieldio|fdb]\n"
+      "usage: %s [--system daos|lustre|ceph] [--bench ior|fieldio|fdb|pdes]\n"
       "          [--api %s]\n"
       "          [--servers N] [--clients N] [--ppn N] [--ops N]\n"
       "          [--transfer BYTES] [--oclass S1|...|SX|RP_2GX|EC_2P1GX]\n"
-      "          [--reps N] [--jobs N] [--seed N] [--pgs N] [--replicas N]\n"
+      "          [--reps N] [--jobs N] [--sim-jobs N] [--seed N]\n"
+      "          [--pgs N] [--replicas N]\n"
       "          [--queue-depth N] [--shared] [--async-index] [--stats]\n"
       "          [--write-only | --read-only]\n"
       "          [--trace FILE] [--metrics FILE] [--exemplars K]\n"
@@ -104,9 +108,19 @@ struct Options {
       "flight per process (1 = sequential issue, the paper's setup).\n"
       "--write-only / --read-only run just that IOR phase (reads hit the\n"
       "timing model whether or not data was written first).\n"
-      "Parallelism: --jobs (or DAOSIM_JOBS) runs repetitions concurrently\n"
-      "on a worker pool; results are identical to --jobs 1 for a fixed\n"
-      "--seed because every repetition is a self-contained simulation.\n"
+      "Parallelism: two independent knobs. --jobs (or DAOSIM_JOBS) runs\n"
+      "repetitions (sweep cells) concurrently on a worker pool; results are\n"
+      "identical to --jobs 1 for a fixed --seed because every repetition is\n"
+      "a self-contained simulation. --sim-jobs (or DAOSIM_SIM_JOBS) shards\n"
+      "ONE simulation's event queue across worker threads with conservative\n"
+      "lookahead — currently --bench pdes only; 1 (the default) is the\n"
+      "bit-identical serial kernel, and runs are deterministic for any\n"
+      "fixed N. --jobs x --sim-jobs threads must fit the machine.\n"
+      "--bench pdes is a hardware-level object-store workload (clients ->\n"
+      "NIC -> per-server service queue -> NVMe -> response) built for\n"
+      "intra-run sharding; it takes --servers/--clients/--ppn/--ops/\n"
+      "--transfer/--write-only/--read-only but no --api/--system, and with\n"
+      "--stats prints shard-sync counters plus a result digest.\n"
       "Observability: --trace writes a Chrome-trace JSON (open in\n"
       "chrome://tracing or Perfetto) and --metrics a CSV (or JSON when the\n"
       "file ends in .json) of op latency histograms, both for the last\n"
@@ -212,6 +226,9 @@ Options parse(int argc, char** argv) {
       o.reps = std::atoi(value());
     } else if (arg == "--jobs") {
       o.jobs = std::atoi(value());
+    } else if (arg == "--sim-jobs") {
+      o.sim_jobs = std::atoi(value());
+      if (o.sim_jobs < 1) usage(argv[0]);
     } else if (arg == "--seed") {
       o.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--pgs") {
@@ -255,6 +272,44 @@ Options parse(int argc, char** argv) {
   if (o.servers <= 0 || o.clients <= 0 || o.ppn <= 0 || o.reps <= 0 ||
       o.queue_depth <= 0 || (o.read_only && o.write_only)) {
     usage(argv[0]);
+  }
+  if (o.sim_jobs == 0) o.sim_jobs = sim::envSimJobs();
+  if (o.jobs > 1 && o.sim_jobs > 1) {
+    // Both knobs explicit: refuse silent oversubscription. (When --jobs is
+    // omitted the pool below defaults to one worker instead.)
+    const unsigned hc = std::thread::hardware_concurrency();
+    const auto want = static_cast<unsigned long long>(o.jobs) *
+                      static_cast<unsigned long long>(o.sim_jobs);
+    if (hc != 0 && want > hc) {
+      throw std::invalid_argument(
+          "--jobs " + std::to_string(o.jobs) + " (concurrent repetitions) x "
+          "--sim-jobs " + std::to_string(o.sim_jobs) +
+          " (event-queue shards per run) = " + std::to_string(want) +
+          " worker threads, but this machine has " + std::to_string(hc) +
+          " cores; lower one of the two");
+    }
+  }
+  if (o.bench == "pdes") {
+    if (!o.api.empty() || !o.system.empty()) {
+      throw std::invalid_argument(
+          "--bench pdes runs directly on the hardware model; "
+          "--api/--system do not apply");
+    }
+    o.system = "hw";
+    if (!o.faults.empty() || !o.trace_file.empty() || o.exemplars > 0 ||
+        !o.metrics_file.empty() || !o.telemetry_file.empty()) {
+      throw std::invalid_argument(
+          "--bench pdes does not support --faults/--trace/--exemplars/"
+          "--metrics/--telemetry (those observers attach to a single "
+          "serial simulation)");
+    }
+    return o;  // no backend to resolve, and observer env fallbacks are moot
+  }
+  if (o.sim_jobs > 1) {
+    throw std::invalid_argument(
+        "--sim-jobs > 1 (intra-run event-queue sharding) currently supports "
+        "--bench pdes only; the DAOS/Lustre/Ceph protocol stacks run on the "
+        "serial kernel. Use --jobs to parallelize repetitions instead.");
   }
   resolveApiAndSystem(o);
   if (!o.faults.empty() && o.system != "daos") {
@@ -412,11 +467,71 @@ apps::RunResult runCeph(const Options& o, std::uint64_t seed, bool stats,
   return runBench(o, tb, stats, observer, label);
 }
 
+void printSummary(const Options& o, const apps::Measurement& m) {
+  std::printf(
+      "%s/%s servers=%d clients=%d ppn=%d procs=%d reps=%d\n"
+      "  write %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n"
+      "  read  %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n",
+      o.system.c_str(), o.bench.c_str(), o.servers, o.clients, o.ppn,
+      o.clients * o.ppn, o.reps, m.write_gibps.mean(), m.write_gibps.stddev(),
+      m.write_kiops.mean(),
+      static_cast<double>(m.write_lat.percentile(50)) / 1e3,
+      static_cast<double>(m.write_lat.percentile(95)) / 1e3,
+      static_cast<double>(m.write_lat.percentile(99)) / 1e3,
+      m.read_gibps.mean(), m.read_gibps.stddev(), m.read_kiops.mean(),
+      static_cast<double>(m.read_lat.percentile(50)) / 1e3,
+      static_cast<double>(m.read_lat.percentile(95)) / 1e3,
+      static_cast<double>(m.read_lat.percentile(99)) / 1e3);
+}
+
+/// Sweep-pool width: --jobs when given; otherwise one worker while shards
+/// are engaged (so the thread count stays --sim-jobs), else DAOSIM_JOBS /
+/// hardware concurrency.
+int sweepJobs(const Options& o) {
+  if (o.jobs > 0) return o.jobs;
+  if (o.sim_jobs > 1) return 1;
+  return sim::envSweepJobs();
+}
+
+int runPdesBench(const Options& o) {
+  apps::PdesOptions p;
+  p.server_nodes = o.servers;
+  p.client_nodes = o.clients;
+  p.procs_per_node = o.ppn;
+  p.ops = o.ops > 0 ? o.ops : 64;
+  p.transfer = o.transfer;
+  // CLI --sim-jobs 1 is the plain serial kernel (no ShardGroup at all);
+  // N > 1 engages a windowed group with N shards.
+  p.sim_jobs = o.sim_jobs <= 1 ? 0 : o.sim_jobs;
+  p.write_phase = !o.read_only;
+  p.read_phase = !o.write_only;
+  apps::Measurement m;
+  m.point = apps::SweepPoint{o.clients, o.ppn};
+  sim::ParallelRunner pool(sweepJobs(o));
+  auto results = pool.map(
+      static_cast<std::size_t>(o.reps),
+      [&](std::size_t rep) -> apps::RunResult {
+        apps::PdesOptions pr = p;
+        pr.seed = o.seed + static_cast<std::uint64_t>(rep);
+        apps::PdesResult r = apps::runPdes(pr);
+        // Shard-sync stats describe the last repetition, mirroring the
+        // testbed benches' --stats behavior.
+        if (o.stats && rep == static_cast<std::size_t>(o.reps) - 1) {
+          apps::writePdesStats(std::cout, r);
+        }
+        return r.run;
+      });
+  for (const auto& r : results) m.add(r);
+  printSummary(o, m);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Options o = parse(argc, argv);
+    if (o.bench == "pdes") return runPdesBench(o);
     // Observe the last repetition only (mirrors --stats), so traces and
     // metrics describe one run rather than a mix of seeds.
     obs::Observer observer;
@@ -437,7 +552,7 @@ int main(int argc, char** argv) {
     // Repetitions are independent simulations; run them across a worker
     // pool (--jobs / DAOSIM_JOBS). Aggregation stays in rep order, so the
     // printed numbers are identical to a serial run for a fixed --seed.
-    sim::ParallelRunner pool(o.jobs > 0 ? o.jobs : sim::envJobs());
+    sim::ParallelRunner pool(sweepJobs(o));
     auto results = pool.map(
         static_cast<std::size_t>(o.reps),
         [&](std::size_t rep) -> apps::RunResult {
@@ -515,20 +630,7 @@ int main(int argc, char** argv) {
         obs::writeReport(std::cout, obs::analyze(obs::parseTelemetryCsv(ss)));
       }
     }
-    std::printf(
-        "%s/%s servers=%d clients=%d ppn=%d procs=%d reps=%d\n"
-        "  write %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n"
-        "  read  %.2f +/- %.2f GiB/s (%.1f kIOPS) p50/p95/p99 %.1f/%.1f/%.1f us\n",
-        o.system.c_str(), o.bench.c_str(), o.servers, o.clients, o.ppn,
-        o.clients * o.ppn, o.reps, m.write_gibps.mean(),
-        m.write_gibps.stddev(), m.write_kiops.mean(),
-        static_cast<double>(m.write_lat.percentile(50)) / 1e3,
-        static_cast<double>(m.write_lat.percentile(95)) / 1e3,
-        static_cast<double>(m.write_lat.percentile(99)) / 1e3,
-        m.read_gibps.mean(), m.read_gibps.stddev(), m.read_kiops.mean(),
-        static_cast<double>(m.read_lat.percentile(50)) / 1e3,
-        static_cast<double>(m.read_lat.percentile(95)) / 1e3,
-        static_cast<double>(m.read_lat.percentile(99)) / 1e3);
+    printSummary(o, m);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "daosim_run: %s\n", e.what());
