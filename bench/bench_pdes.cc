@@ -18,7 +18,9 @@
 // show protocol cost, not parallel speedup — see the baseline host note.
 #include <benchmark/benchmark.h>
 
+#include "apps/ior.h"
 #include "apps/pdes.h"
+#include "apps/testbed.h"
 
 namespace {
 
@@ -60,6 +62,32 @@ void BM_PdesEventsPerSec(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 
+/// The full DAOS protocol stack on the sharded kernel: IOR over daos-array
+/// (RPC state machines, pool/container services, placement, VOS) on a
+/// ShardGroup — the workload tests/shard_stack_test.cc pins for equality.
+/// Items are kernel events across all shards, testbed deployment included.
+void BM_IorShardedEventsPerSec(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    apps::DaosTestbed::Options opt;
+    opt.server_nodes = 4;
+    opt.client_nodes = 4;
+    opt.with_dfuse = false;
+    opt.sim_jobs = shards;
+    apps::DaosTestbed tb(opt);
+    apps::IorConfig cfg;
+    cfg.ops = 12;
+    apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
+    apps::RunResult r = apps::runSpmdSharded(
+        tb.cluster(), *tb.shardGroup(), tb.clientSubset(4), 2, tb.seed(),
+        bench);
+    events += tb.shardGroup()->stats().events;
+    benchmark::DoNotOptimize(apps::runDigest(r));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
 /// Cross-shard handoff rate: items are mailbox posts (each one a reserve +
 /// migrate + re-schedule on the destination), on a 2-shard split where
 /// every request/response crosses shards with high probability.
@@ -80,6 +108,11 @@ BENCHMARK(BM_PdesEventsPerSec)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_IorShardedEventsPerSec)
+    ->Arg(1)
+    ->Arg(2)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 BENCHMARK(BM_PdesCrossShardPostsPerSec)

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "apps/stats_report.h"
 #include "hw/cluster.h"
 #include "hw/device.h"
 #include "hw/spec.h"
@@ -96,18 +97,6 @@ sim::Task<void> pdesProc(PdesProcArgs* a) {
         co_await a->sbarrier->arriveAndWait(a->shard);
       }
     }
-  }
-}
-
-void mergeInto(RunResult& into, const RunResult& from) {
-  for (int ph = 0; ph < 2; ++ph) {
-    PhaseResult& a = into.phase[ph];
-    const PhaseResult& b = from.phase[ph];
-    a.bytes += b.bytes;
-    a.ops += b.ops;
-    if (b.first_start < a.first_start) a.first_start = b.first_start;
-    if (b.last_end > a.last_end) a.last_end = b.last_end;
-    a.latency.merge(b.latency);
   }
 }
 
@@ -232,38 +221,18 @@ PdesResult runPdes(const PdesOptions& o) {
     if (h.failed()) std::rethrow_exception(h.error());
   }
   out.run.procs = procs;
-  for (const RunResult& lane : results) mergeInto(out.run, lane);
+  for (const RunResult& lane : results) mergeRunResults(out.run, lane);
   out.digest = runDigest(out.run);
   return out;
 }
 
 void writePdesStats(std::ostream& out, const PdesResult& r) {
+  // Serial runs carry a zeroed sync block; patch in the event count so the
+  // block still reports work done (shards stays 0, marking the serial path).
+  sim::ShardSyncStats sync = r.sync;
+  sync.events = r.events;
+  reportShardSync(out, sync);
   char line[160];
-  out << "\n-- shard sync --\n";
-  std::snprintf(line, sizeof(line), "%-22s %d\n", "shards", r.sync.shards);
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 " ns\n", "lookahead",
-                static_cast<std::uint64_t>(r.sync.lookahead));
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "windows",
-                r.sync.windows);
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n",
-                "cross-shard posts", r.sync.cross_posts);
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "barrier releases",
-                r.sync.barrier_releases);
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "late releases",
-                r.sync.late_releases);
-  out << line;
-  std::snprintf(line, sizeof(line), "%-22s %zu\n", "events", r.events);
-  out << line;
-  for (std::size_t i = 0; i < r.sync.shard_events.size(); ++i) {
-    std::snprintf(line, sizeof(line), "  shard%-18zu %zu\n", i,
-                  r.sync.shard_events[i]);
-    out << line;
-  }
   std::snprintf(line, sizeof(line), "%-22s %016" PRIx64 "\n", "result digest",
                 r.digest);
   out << line;

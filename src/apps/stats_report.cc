@@ -1,6 +1,8 @@
 #include "apps/stats_report.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 
 namespace daosim::apps {
@@ -142,6 +144,35 @@ void reportUtilization(std::ostream& os, CephTestbed& tb,
   printRow(os, "OSD op threads", threads, h);
   printWaitRow(os, "OSD queue wait", osd_wait);
   printClientNics(os, tb.cluster(), tb.clients(), h);
+}
+
+void reportShardSync(std::ostream& os, const sim::ShardSyncStats& s) {
+  char line[160];
+  os << "\n-- shard sync --\n";
+  std::snprintf(line, sizeof(line), "%-22s %d\n", "shards", s.shards);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 " ns\n", "lookahead",
+                static_cast<std::uint64_t>(s.lookahead));
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "windows",
+                s.windows);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n",
+                "cross-shard posts", s.cross_posts);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "barrier releases",
+                s.barrier_releases);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %" PRIu64 "\n", "late releases",
+                s.late_releases);
+  os << line;
+  std::snprintf(line, sizeof(line), "%-22s %zu\n", "events", s.events);
+  os << line;
+  for (std::size_t i = 0; i < s.shard_events.size(); ++i) {
+    std::snprintf(line, sizeof(line), "  shard%-18zu %zu\n", i,
+                  s.shard_events[i]);
+    os << line;
+  }
 }
 
 }  // namespace daosim::apps

@@ -23,4 +23,11 @@ void reportUtilization(std::ostream& os, LustreTestbed& tb,
 /// Ceph: OSD devices and op threads, NICs.
 void reportUtilization(std::ostream& os, CephTestbed& tb, sim::Time horizon);
 
+/// Shard-synchronization protocol counters (`-- shard sync --` block):
+/// shards, lookahead, windows, mailbox posts, barrier resolutions and
+/// per-shard event tallies. Printed by every bench that ran on a
+/// ShardGroup; note the per-shard tallies depend on the shard count even
+/// though the results do not.
+void reportShardSync(std::ostream& os, const sim::ShardSyncStats& s);
+
 }  // namespace daosim::apps

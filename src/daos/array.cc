@@ -59,6 +59,14 @@ vos::Payload assemble(std::vector<Piece> pieces, std::uint64_t total) {
 }
 
 // ---- per-shard RPC operations (inline request/work/response legs) --------
+//
+// SHARD RESIDENCY: after the request leg these coroutines run on the
+// server's shard; an exception escaping there (DeviceFailed from the
+// engine, RetryExhausted from the response leg) would complete the frame
+// on the wrong shard and leave the caller's degraded-read fallback running
+// off its home shard. Errors are therefore caught, the coroutine hops back
+// to the client, and the error is rethrown there — serially the hop is a
+// free no-op and the error path is unchanged (see daos/client.cc).
 
 /// One extent-write RPC to a pool-global target.
 sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
@@ -74,9 +82,19 @@ sim::Task<void> extentWriteOp(Client* client, vos::ContId cont, ObjectId oid,
   const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
                         data.size(), rp, rop);
-  co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
-                               std::move(data), rop);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, rop);
+  std::exception_ptr err;
+  try {
+    co_await engine->extentWrite(local, cont, oid, dkey, akey, offset,
+                                 std::move(data), rop);
+    co_await net::respond(cluster, engine->node(), client->node(), 0, rp,
+                          rop);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) {
+    co_await cluster.hop(engine->node(), client->node());
+    std::rethrow_exception(err);
+  }
 }
 
 /// One extent-read RPC to a pool-global target.
@@ -91,10 +109,20 @@ sim::Task<vos::Payload> fetchOp(Client* client, vos::ContId cont,
   const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
                         0, rp, rop);
-  vos::Payload p = co_await engine->extentRead(local, cont, oid, dkey, akey,
-                                               offset, length, rop);
-  co_await net::respond(cluster, engine->node(), client->node(), p.size(), rp,
-                        rop);
+  vos::Payload p;
+  std::exception_ptr err;
+  try {
+    p = co_await engine->extentRead(local, cont, oid, dkey, akey, offset,
+                                    length, rop);
+    co_await net::respond(cluster, engine->node(), client->node(), p.size(),
+                          rp, rop);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) {
+    co_await cluster.hop(engine->node(), client->node());
+    std::rethrow_exception(err);
+  }
   co_return p;
 }
 
@@ -110,9 +138,19 @@ sim::Task<void> truncateShardOp(Client* client, vos::ContId cont,
   const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client->node(), engine->node(),
                         0, rp, rop);
-  co_await engine->arrayShardTruncate(local, cont, oid, chunk_size, new_size,
-                                      rop);
-  co_await net::respond(cluster, engine->node(), client->node(), 0, rp, rop);
+  std::exception_ptr err;
+  try {
+    co_await engine->arrayShardTruncate(local, cont, oid, chunk_size,
+                                        new_size, rop);
+    co_await net::respond(cluster, engine->node(), client->node(), 0, rp,
+                          rop);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) {
+    co_await cluster.hop(engine->node(), client->node());
+    std::rethrow_exception(err);
+  }
 }
 
 sim::Task<void> fetchInto(Client* client, vos::ContId cont, ObjectId oid,
@@ -152,9 +190,18 @@ sim::Task<void> metaPutOp(Client* client, vos::ContId cont, ObjectId oid,
   const net::RetryPolicy& rp = client->system().config().rpc_retry;
   co_await net::request(cluster, client->node(), engine->node(),
                         meta.size(), rp);
-  co_await engine->valuePut(local, cont, oid, kMetaDkey, "0",
-                            std::move(meta));
-  co_await net::respond(cluster, engine->node(), client->node(), 0, rp);
+  std::exception_ptr err;
+  try {
+    co_await engine->valuePut(local, cont, oid, kMetaDkey, "0",
+                              std::move(meta));
+    co_await net::respond(cluster, engine->node(), client->node(), 0, rp);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) {
+    co_await cluster.hop(engine->node(), client->node());
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace
@@ -185,22 +232,40 @@ sim::Task<Array> Array::open(Client& client, Container cont, ObjectId oid) {
   hw::Cluster& cluster = client.system().cluster();
   const net::RetryPolicy& rp = client.system().config().rpc_retry;
   // Try the group-0 members in order (metadata is replicated across them).
+  // The replica walk restarts from the client, so a server-side failure
+  // must first bring the coroutine home (free no-op serially) before the
+  // next request leg departs.
   for (int m = 0; m < layout.group_size; ++m) {
     auto [engine, local] =
         client.system().locateTarget(layout.target(0, m));
+    co_await net::request(cluster, client.node(), engine->node(),
+                          0, rp);
+    Engine::GetResult r;
+    std::exception_ptr err;
     try {
-      co_await net::request(cluster, client.node(), engine->node(),
-                            0, rp);
-      Engine::GetResult r =
-          co_await engine->valueGet(local, cont.id, oid, kMetaDkey, "0");
+      r = co_await engine->valueGet(local, cont.id, oid, kMetaDkey, "0");
       co_await net::respond(cluster, engine->node(), client.node(),
                             r.value.size(), rp);
-      if (r.found) {
-        co_return Array(client, std::move(cont), oid, decodeAttrs(r.value));
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err) {
+      co_await cluster.hop(engine->node(), client.node());
+      bool device_failed = false;
+      try {
+        std::rethrow_exception(err);
+      } catch (const hw::DeviceFailed&) {
+        device_failed = true;
+      } catch (...) {
       }
-    } catch (const hw::DeviceFailed&) {
-      if (m + 1 == layout.group_size) throw;
+      if (!device_failed || m + 1 == layout.group_size) {
+        std::rethrow_exception(err);
+      }
       client.system().noteDegradedRead();
+      continue;
+    }
+    if (r.found) {
+      co_return Array(client, std::move(cont), oid, decodeAttrs(r.value));
     }
   }
   throw std::runtime_error("Array::open: no such array");
@@ -461,9 +526,19 @@ sim::Task<void> Array::probeShardEnd(int target, std::uint64_t* out,
   const obs::OpId rop = rpc.ctx();
   co_await net::request(cluster, client_->node(), engine->node(),
                         0, rp, rop);
-  *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
-                                        attrs_.chunk_size, rop);
-  co_await net::respond(cluster, engine->node(), client_->node(), 16, rp, rop);
+  std::exception_ptr err;
+  try {
+    *out = co_await engine->arrayShardEnd(local, cont_.id, oid_,
+                                          attrs_.chunk_size, rop);
+    co_await net::respond(cluster, engine->node(), client_->node(), 16, rp,
+                          rop);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (err) {
+    co_await cluster.hop(engine->node(), client_->node());
+    std::rethrow_exception(err);
+  }
 }
 
 sim::Task<void> Array::probeShardEndReplicated(std::vector<int> replicas,
@@ -539,13 +614,20 @@ sim::Task<void> Array::setSize(std::uint64_t size) {
   const net::RetryPolicy& rp = client_->system().config().rpc_retry;
   co_await net::request(cluster, client_->node(), engine->node(),
                         0, rp);
-  {
+  std::exception_ptr err;
+  try {
     Target& t = engine->target(local);
     co_await t.xstream().exec(engine->config().engine.rpc_cpu);
     co_await t.device().write(engine->config().engine.wal_bytes);
     t.store().extentTruncate(cont, oid, dkey, "0", in_chunk_end);
+    co_await net::respond(cluster, engine->node(), client_->node(), 0, rp);
+  } catch (...) {
+    err = std::current_exception();
   }
-  co_await net::respond(cluster, engine->node(), client_->node(), 0, rp);
+  if (err) {
+    co_await cluster.hop(engine->node(), client_->node());
+    std::rethrow_exception(err);
+  }
 }
 
 }  // namespace daosim::daos

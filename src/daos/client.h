@@ -39,7 +39,12 @@ class Client {
   DaosSystem& system() noexcept { return *system_; }
   hw::NodeId node() const noexcept { return node_; }
   std::uint32_t clientId() const noexcept { return client_id_; }
-  sim::Simulation& sim() noexcept { return system_->cluster().sim(); }
+  /// The client process's home simulation — its node's shard on a sharded
+  /// cluster, the global one serially. Client-side delays (library CPU,
+  /// reconstruction XOR) charge here.
+  sim::Simulation& sim() noexcept {
+    return system_->cluster().node(node_).sim();
+  }
 
   /// daos_pool_connect.
   sim::Task<void> poolConnect();

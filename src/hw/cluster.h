@@ -16,6 +16,7 @@
 #include "hw/spec.h"
 #include "obs/observer.h"
 #include "sim/queue_station.h"
+#include "sim/rng.h"
 #include "sim/shard.h"
 #include "sim/simulation.h"
 #include "sim/task.h"
@@ -100,6 +101,7 @@ class Cluster {
           "sends would deliver inside the synchronization window");
     }
     shard_ctr_.resize(static_cast<std::size_t>(group.shards()));
+    shard_link_down_.resize(static_cast<std::size_t>(group.shards()));
   }
 
   Cluster(const Cluster&) = delete;
@@ -151,6 +153,33 @@ class Cluster {
     return group_ != nullptr ? shardedSend(src, dst, bytes, cat)
                              : serialSend(src, dst, bytes, op, cat);
   }
+
+  /// Moves the *calling coroutine* (not a message) from `from`'s shard to
+  /// `to`'s shard, charging one fabric latency — the control-plane
+  /// primitive for code that must touch another node's local state
+  /// directly (rebuild walks, client-side pool queries). The caller must
+  /// currently be running on `from`'s shard, and resumes on `to`'s. On a
+  /// serial cluster this is a free no-op (zero events, zero time), so
+  /// threading hops through shared code leaves the serial schedule
+  /// bit-identical. The latency is charged even when both nodes share a
+  /// shard, keeping the simulated timing independent of the shard count.
+  sim::Task<void> hop(NodeId from, NodeId to) {
+    if (group_ == nullptr) co_return;
+    // Through the mailbox even within one shard, keyed like NIC sends, so
+    // a hop arrival that ties with a delivery resumes in the same order
+    // for every shard count.
+    const sim::Time now = node(from).sim().now();
+    co_await group_->migrate(nodeShard(from), nodeShard(to),
+                             now + fabric_.latency, sendKey(from, to, now));
+  }
+
+  /// One delivery attempt on the sharded path (net::sendWithRetry's
+  /// building block; shardedSend is the no-deadline wrapper).
+  enum class SendOutcome {
+    kDelivered,  ///< resumed on dst's shard at the delivery instant
+    kTimedOut,   ///< resumed back on src's shard at >= the deadline
+    kLinkDown,   ///< resumed on src's shard, one fabric latency charged
+  };
 
  private:
   sim::Task<void> serialSend(NodeId src, NodeId dst, std::uint64_t bytes,
@@ -207,6 +236,21 @@ class Cluster {
     finishSend(src, op, cat, started, send_leg);
   }
 
+  /// Mailbox tie-break key for a delivery departing `src` for `dst` at
+  /// `departed` — simulation-level identity only (node ids and simulated
+  /// time, never shard ids), so same-nanosecond deliveries sort in the
+  /// same order for every shard count.
+  static std::uint64_t sendKey(NodeId src, NodeId dst,
+                               sim::Time departed) noexcept {
+    return sim::hashCombine(
+        sim::hashCombine(static_cast<std::uint64_t>(departed),
+                         (static_cast<std::uint64_t>(
+                              static_cast<std::uint32_t>(src))
+                          << 32) |
+                             static_cast<std::uint32_t>(dst)),
+        0x6e696373ULL);  // 'nics'
+  }
+
   /// Sharded send. Exactly the serial timing, restructured so the message
   /// is a one-way coroutine migration instead of a spawn-and-join:
   ///
@@ -225,9 +269,45 @@ class Cluster {
   /// noted at arrival (not at t0 as serially), which shifts no totals.
   sim::Task<void> shardedSend(NodeId src, NodeId dst, std::uint64_t bytes,
                               obs::Cat cat) {
+    const SendOutcome out =
+        co_await shardedSendAttempt(src, dst, bytes, cat, /*deadline=*/0);
+    if (out == SendOutcome::kLinkDown) {
+      throw NetworkDown("node" + std::to_string(shardLinkDown(
+                                     nodeShard(src), src)
+                                     ? src
+                                     : dst));
+    }
+  }
+
+ public:
+  /// Sharded delivery with an optional absolute deadline. Timing matches
+  /// shardedSend exactly on the success path (the deadline check is pure
+  /// arithmetic on the reservation result — no timer events), so enabling
+  /// a retry policy does not perturb fault-free runs. On kTimedOut the
+  /// coroutine returns to src's shard at max(deadline, arrival + latency);
+  /// the reservation stands — the bytes still cross the wire, the client
+  /// just stops waiting, mirroring the serial timeout race where the
+  /// abandoned leg keeps running. Deadlines below 2x the fabric latency
+  /// cannot be represented on the sharded path (the migration back cannot
+  /// land inside the synchronization window); callers enforce
+  /// timeout >= 2 * fabric latency.
+  sim::Task<SendOutcome> shardedSendAttempt(NodeId src, NodeId dst,
+                                            std::uint64_t bytes, obs::Cat cat,
+                                            sim::Time deadline) {
     Node& s = node(src);
     const int sshard = nodeShard(src);
     sim::Simulation& ssim = s.sim();
+    // Link state is read from the *source shard's* replica: flap events
+    // install on every replica at the same simulated instant, so the
+    // outcome is independent of the shard layout. Messages already past
+    // this check when the link goes down complete normally (on the wire).
+    if (src != dst && (shardLinkDown(sshard, src) ||
+                       shardLinkDown(sshard, dst))) {
+      ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
+      ++c.send_failures;
+      co_await ssim.delay(fabric_.latency);
+      co_return SendOutcome::kLinkDown;
+    }
     {
       ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
       c.messages += 1;
@@ -242,7 +322,7 @@ class Cluster {
       ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
       --c.inflight;
       c.send_ns += ssim.now() - started;
-      co_return;
+      co_return SendOutcome::kDelivered;
     }
     Node& d = node(dst);
     const int dshard = nodeShard(dst);
@@ -253,23 +333,40 @@ class Cluster {
     const sim::Time rx_time =
         d.spec().nic.per_message + transferTime(wire, d.spec().nic.gibps);
     const sim::Time t_tx = s.tx().reserve(tx_time);
-    if (sshard == dshard) {
-      co_await ssim.delay(fabric_.latency);
-    } else {
-      co_await group_->migrate(sshard, dshard, started + fabric_.latency);
-    }
+    // Delivery goes through the window mailbox even when both endpoints
+    // share a shard: the flush orders same-nanosecond deliveries by
+    // (time, key), with the key a function of (src, dst, departure time)
+    // only, so arrival order at a contended station is identical for
+    // every shard count. Server-side QueueStation serialization (e.g.
+    // the pool-service leader's raft commits) re-aligns independent
+    // clients onto one service grid, making exact same-nanosecond
+    // arrivals common enough to matter; (time, src shard, post index)
+    // order would make the winner depend on the node->shard map.
+    co_await group_->migrate(sshard, dshard, started + fabric_.latency,
+                             sendKey(src, dst, started));
     // From here the coroutine runs on dst's shard, at started + latency.
     sim::Simulation& dsim = d.sim();
     d.rx().noteBytes(wire);
     const sim::Time t_rx = d.rx().reserve(rx_time);
     const sim::Time done = t_tx > t_rx ? t_tx : t_rx;
+    if (deadline > 0 && done > deadline) {
+      {
+        ShardCounters& c = shard_ctr_[static_cast<std::size_t>(dshard)];
+        --c.inflight;
+        c.send_ns += done - started;
+      }
+      const sim::Time arrive = dsim.now();
+      sim::Time back = arrive + fabric_.latency;
+      if (deadline > back) back = deadline;
+      co_await group_->migrate(dshard, sshard, back, sendKey(dst, src, arrive));
+      co_return SendOutcome::kTimedOut;
+    }
     if (done > dsim.now()) co_await dsim.delay(done - dsim.now());
     ShardCounters& c = shard_ctr_[static_cast<std::size_t>(dshard)];
     --c.inflight;
     c.send_ns += dsim.now() - started;
+    co_return SendOutcome::kDelivered;
   }
-
- public:
   std::uint64_t messages() const noexcept {
     return sumCtr(messages_, &ShardCounters::messages);
   }
@@ -310,15 +407,54 @@ class Cluster {
            link_down_[static_cast<std::size_t>(id)] != 0;
   }
 
+  /// Sharded link state: one replica of the link-down map per shard, each
+  /// written only by its own shard's thread (the fault injector broadcasts
+  /// one applier coroutine per shard, all landing at the same simulated
+  /// time) and read by that shard's sends. The outer vector is sized at
+  /// construction; inner lanes allocate lazily on first flap, so flap-free
+  /// runs pay one empty-vector check per send.
+  void setLinkDownOnShard(int shard, NodeId id, bool down) {
+    assert(group_ != nullptr);
+    auto& lane = shard_link_down_[static_cast<std::size_t>(shard)];
+    if (lane.size() < nodes_.size()) lane.resize(nodes_.size(), 0);
+    lane[static_cast<std::size_t>(id)] = down ? 1 : 0;
+  }
+  bool shardLinkDown(int shard, NodeId id) const noexcept {
+    if (shard_link_down_.empty()) return false;
+    const auto& lane = shard_link_down_[static_cast<std::size_t>(shard)];
+    return static_cast<std::size_t>(id) < lane.size() &&
+           lane[static_cast<std::size_t>(id)] != 0;
+  }
+
   /// Retry accounting, incremented by net::sendWithRetry and sampled by
   /// telemetry (net/rpc_retry_per_s, net/rpc_timeout_per_s,
-  /// net/send_fail_per_s).
-  void noteRpcRetry() noexcept { ++rpc_retries_; }
-  void noteRpcTimeout() noexcept { ++rpc_timeouts_; }
-  std::uint64_t rpcRetries() const noexcept { return rpc_retries_; }
-  std::uint64_t rpcTimeouts() const noexcept { return rpc_timeouts_; }
+  /// net/send_fail_per_s). On a sharded cluster the counts land in the
+  /// calling shard's lane (sendWithRetry runs on the source shard when it
+  /// notes a retry or timeout).
+  void noteRpcRetry() noexcept {
+    if (ShardCounters* c = laneCtr()) {
+      ++c->retries;
+    } else {
+      ++rpc_retries_;
+    }
+  }
+  void noteRpcTimeout() noexcept {
+    if (ShardCounters* c = laneCtr()) {
+      ++c->timeouts;
+    } else {
+      ++rpc_timeouts_;
+    }
+  }
+  std::uint64_t rpcRetries() const noexcept {
+    return sumCtr(rpc_retries_, &ShardCounters::retries);
+  }
+  std::uint64_t rpcTimeouts() const noexcept {
+    return sumCtr(rpc_timeouts_, &ShardCounters::timeouts);
+  }
   /// Sends dropped on a downed link.
-  std::uint64_t sendFailures() const noexcept { return send_failures_; }
+  std::uint64_t sendFailures() const noexcept {
+    return sumCtr(send_failures_, &ShardCounters::send_failures);
+  }
 
  private:
   /// Send bookkeeping for one shard, cache-line separated so concurrent
@@ -331,6 +467,9 @@ class Cluster {
     std::uint64_t rpc_responses = 0;
     std::int64_t inflight = 0;
     sim::Time send_ns = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t send_failures = 0;
   };
 
   template <typename T, typename M>
@@ -338,6 +477,13 @@ class Cluster {
     T total = serial;
     for (const auto& c : shard_ctr_) total += static_cast<T>(c.*m);
     return total;
+  }
+
+  /// The calling shard's counter lane, or nullptr on the serial path.
+  ShardCounters* laneCtr() noexcept {
+    if (shard_ctr_.empty()) return nullptr;
+    const int s = sim::currentShard();
+    return s >= 0 ? &shard_ctr_[static_cast<std::size_t>(s)] : nullptr;
   }
 
   void finishSend(NodeId src, obs::OpId op, obs::Cat cat, sim::Time started,
@@ -364,6 +510,9 @@ class Cluster {
   std::uint64_t rpc_requests_ = 0;
   std::uint64_t rpc_responses_ = 0;
   std::vector<std::uint8_t> link_down_;  // empty until the first flap
+  // Per-shard link-down replicas (see setLinkDownOnShard); outer vector
+  // sized in the sharded constructor, inner lanes empty until a flap.
+  std::vector<std::vector<std::uint8_t>> shard_link_down_;
   std::uint64_t rpc_retries_ = 0;
   std::uint64_t rpc_timeouts_ = 0;
   std::uint64_t send_failures_ = 0;

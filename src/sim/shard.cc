@@ -8,6 +8,12 @@
 
 namespace daosim::sim {
 
+namespace {
+thread_local int t_current_shard = -1;
+}  // namespace
+
+int currentShard() noexcept { return t_current_shard; }
+
 ShardBarrier::ShardBarrier(ShardGroup& group, std::size_t parties)
     : group_(&group), parties_(parties) {
   assert(parties > 0);
@@ -67,26 +73,29 @@ ShardGroup::~ShardGroup() {
   for (auto& w : workers_) w.join();
 }
 
-void ShardGroup::post(int src, int dst, Time t, std::coroutine_handle<> h) {
-  assert(src != dst && "migrate() to the same shard");
+void ShardGroup::post(int src, int dst, Time t, std::uint64_t key,
+                      std::coroutine_handle<> h) {
   assert(t >= window_end_ &&
-         "cross-shard post inside the current window: the migration "
+         "mailbox post inside the current window: the migration "
          "latency is below the group's lookahead");
   auto& seq = post_seq_[static_cast<std::size_t>(src)]
                        [static_cast<std::size_t>(dst)];
   Mailbox& box = *boxes_[static_cast<std::size_t>(dst)];
   std::lock_guard<std::mutex> lock(box.mu);
-  box.items.push_back(MailboxEntry{t, src, seq++, h});
+  box.items.push_back(MailboxEntry{t, key, src, seq++, h});
 }
 
 void ShardGroup::runShardWindow(int shard) {
   auto& s = *sims_[static_cast<std::size_t>(shard)];
+  const int prev = t_current_shard;
+  t_current_shard = shard;
   try {
     stats_.shard_events[static_cast<std::size_t>(shard)] +=
         s.runWindow(window_end_, max_window_events_);
   } catch (...) {
     errors_[static_cast<std::size_t>(shard)] = std::current_exception();
   }
+  t_current_shard = prev;
 }
 
 void ShardGroup::workerLoop(int shard) {
@@ -133,12 +142,16 @@ std::size_t ShardGroup::flushMailboxes() {
       items.swap(box.items);
     }
     if (items.empty()) continue;
-    // (time, source shard, source post index): a total order independent of
-    // thread scheduling, so the destination's (time, seq) assignment — and
-    // with it everything downstream — is reproducible.
+    // (time, key, source shard, source post index): a total order
+    // independent of thread scheduling, so the destination's (time, seq)
+    // assignment — and with it everything downstream — is reproducible.
+    // The caller-supplied key comes before the shard-dependent components
+    // so that same-time deliveries resume in a shard-count-invariant order
+    // (see the file comment in shard.h).
     std::sort(items.begin(), items.end(),
               [](const MailboxEntry& a, const MailboxEntry& b) {
                 if (a.t != b.t) return a.t < b.t;
+                if (a.key != b.key) return a.key < b.key;
                 if (a.src != b.src) return a.src < b.src;
                 return a.idx < b.idx;
               });
@@ -162,12 +175,15 @@ bool ShardGroup::resolveBarriers() {
     for (const auto& lane : b->lanes_) {
       for (const auto& a : lane) release_at = std::max(release_at, a.t);
     }
-    // A shard whose clock ran past the last arrival (possible only when
-    // non-barrier work outlives the rendezvous) would otherwise receive a
-    // past-time event; clamp and count, like scheduleAt's past-clamp guard.
+    // Concurrent non-barrier work (a fault injector, a background rebuild)
+    // can run a shard's clock past the last arrival inside the same
+    // window; releasing below any clock would schedule into the past. The
+    // clamp uses the group-wide maximum clock — a property of the event
+    // history, identical for every shard layout, unlike any single
+    // shard's clock — and equals the last arrival exactly (the serial
+    // Barrier's release time) whenever nothing outran the rendezvous.
     for (int i = 0; i < shards(); ++i) {
-      if (!b->lanes_[static_cast<std::size_t>(i)].empty() &&
-          shard(i).now() > release_at) {
+      if (shard(i).now() > release_at) {
         release_at = shard(i).now();
         ++stats_.late_releases;
       }
@@ -192,10 +208,16 @@ std::size_t ShardGroup::run() {
     // eagerly until its first suspension, so a cross-shard send issued
     // with no prior delay lands in a mailbox before run() begins.
     flushMailboxes();
+    // Resolve complete barriers at every window boundary, not just at
+    // quiescence: once every party has arrived the release time is fully
+    // determined, and waiting for the queues to drain would let unrelated
+    // pending work — a fault-plan event scheduled for later — displace
+    // the whole rendezvous past it (the workload must interleave with
+    // such events exactly as it does on the serial kernel).
+    if (resolveBarriers()) continue;
     Time gmin = Simulation::kNever;
     for (const auto& s : sims_) gmin = std::min(gmin, s->nextEventTime());
     if (gmin == Simulation::kNever) {
-      if (resolveBarriers()) continue;
       std::size_t waiting = 0;
       for (const ShardBarrier* b : barriers_) waiting += b->arrived();
       if (waiting > 0) {

@@ -26,23 +26,39 @@
 // Determinism: each shard is single-threaded and processes its queue in
 // exact (time, seq) order, so a shard's execution depends only on the
 // sequence of (time-stamped) mailbox deliveries it receives. Mailboxes are
-// flushed at window barriers, sorted by (resume time, source shard, source
-// post index) — all three components are scheduling-independent — so two
-// runs with the same seed and shard count are identical. Results that merge
-// *across* shards must use commutative/associative aggregation (histogram
-// bucket adds, min/max, sums), the same contract sweep-level parallelism
-// has relied on since the telemetry and exemplar mergers. Note the serial
-// kernel is a different total order: per-shard runs are deterministic and
-// agree with serial runs wherever cross-shard arrivals do not tie at the
-// exact same nanosecond on one station (workloads de-tie with deterministic
-// per-rank jitter; tests assert full RunResult equality).
+// flushed at window barriers, sorted by (resume time, tie-break key, source
+// shard, source post index) — all components are scheduling-independent —
+// so two runs with the same seed and shard count are identical.
+//
+// Shard-count invariance is stronger and needs the caller-supplied tie-break
+// *key*: two migrations resuming at the same nanosecond on one shard would
+// otherwise be ordered by (source shard, post index), which depends on the
+// node->shard map and hence on the shard count. Senders therefore pass a
+// key derived only from simulation-level identity (e.g. hw::Cluster keys
+// NIC deliveries on hash(src node, dst node, departure time)) and route
+// *same-shard* interactions through the mailbox too (migrate with src ==
+// dst is legal): every delivery then lands in the same (time, key) order
+// for every shard count, including the single-shard group. The window
+// horizon itself is shard-count-invariant — gmin is a minimum over the
+// whole event population however it is partitioned — so mailbox flushes
+// inject events at the same simulated instants regardless of layout.
+// Results that merge *across* shards must use commutative/associative
+// aggregation (histogram bucket adds, min/max, sums), the same contract
+// sweep-level parallelism has relied on since the telemetry and exemplar
+// mergers. Note the plain serial kernel (no group) is still a different
+// total order: same-time deliveries there follow spawn order, not key
+// order; tests therefore compare shard counts against a one-shard group.
 //
 // Group-wide rendezvous (the SPMD phase barrier) cannot be a plain
-// sim::Barrier — its parties live on different shards, and the last arrival
-// is only known once every shard has drained. ShardBarrier therefore
-// resolves at *quiescence*: when all queues and mailboxes are empty, any
-// barrier whose arrival count is complete releases its waiters at the
-// maximum arrival time, exactly the serial Barrier's release time.
+// sim::Barrier — its parties live on different shards. ShardBarrier is
+// resolved by the coordinator at window boundaries: once every party has
+// arrived, waiters release at the maximum arrival time (exactly the
+// serial Barrier's release time), clamped to the group-wide maximum
+// clock when concurrent non-barrier work — a fault-plan event, a
+// background rebuild — outran the rendezvous inside the final window.
+// Resolution must not wait for quiescence: unrelated work scheduled for
+// later (a fault injector sleeping until its next event) would displace
+// the release past it instead of interleaving as the serial kernel does.
 #pragma once
 
 #include <condition_variable>
@@ -60,6 +76,13 @@
 namespace daosim::sim {
 
 class ShardGroup;
+
+/// Shard the calling thread is currently executing (set for the duration of
+/// a shard's window, including the inline single-shard path), or -1 outside
+/// any ShardGroup window — i.e. on the plain serial kernel. Lets shared
+/// lookup structures (pool maps, link state) select a per-shard replica
+/// without threading a shard id through every call signature.
+int currentShard() noexcept;
 
 /// Synchronization-protocol counters, reported under daosim_run --stats.
 struct ShardSyncStats {
@@ -148,32 +171,39 @@ class ShardGroup {
   const ShardSyncStats& stats() const noexcept { return stats_; }
 
   /// Awaitable migrating the current coroutine from shard `src` to shard
-  /// `dst` (!= src), resuming there at absolute time `t`. Conservative
-  /// safety requires t >= sender-now + lookahead; the mailbox asserts the
-  /// weaker (implied) invariant t >= window_end.
-  auto migrate(int src, int dst, Time t) noexcept {
+  /// `dst`, resuming there at absolute time `t`. src == dst is legal and
+  /// routes through the same mailbox — the way a sender makes a same-shard
+  /// delivery order-comparable with cross-shard ones. Conservative safety
+  /// requires t >= sender-now + lookahead; the mailbox asserts the weaker
+  /// (implied) invariant t >= window_end. Same-time deliveries on one
+  /// shard resume in ascending `key` order (see the file comment); pass a
+  /// key derived from shard-count-invariant identity, never from shard ids.
+  auto migrate(int src, int dst, Time t, std::uint64_t key = 0) noexcept {
     struct Awaiter {
       ShardGroup* g;
       int src, dst;
       Time t;
+      std::uint64_t key;
       bool await_ready() const noexcept { return false; }
       void await_suspend(std::coroutine_handle<> h) const {
-        g->post(src, dst, t, h);
+        g->post(src, dst, t, key, h);
       }
       void await_resume() const noexcept {}
     };
-    return Awaiter{this, src, dst, t};
+    return Awaiter{this, src, dst, t, key};
   }
 
   /// Posts a raw resumption to `dst`'s mailbox (migrate()'s implementation;
   /// exposed for protocol tests). Called from `src`'s worker thread.
-  void post(int src, int dst, Time t, std::coroutine_handle<> h);
+  void post(int src, int dst, Time t, std::uint64_t key,
+            std::coroutine_handle<> h);
 
  private:
   friend class ShardBarrier;
 
   struct MailboxEntry {
     Time t = 0;
+    std::uint64_t key = 0;  ///< caller tie-break, shard-count-invariant
     int src = 0;
     std::uint64_t idx = 0;  ///< per-(src,dst) post counter, sender-ordered
     std::coroutine_handle<> h;

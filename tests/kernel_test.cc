@@ -497,7 +497,10 @@ TEST(ShardGroup, SingleShardWindowedMatchesSerial) {
   const apps::PdesResult windowed = apps::runPdes(pdesCfg(3, 2, 2, 10, 9, 1));
   expectIdentical(serial.run, windowed.run);
   EXPECT_EQ(serial.digest, windowed.digest);
-  EXPECT_EQ(windowed.sync.cross_posts, 0u);
+  // Same-shard NIC deliveries route through the mailbox too (migrate with
+  // src == dst) so that same-time deliveries order shard-count-invariantly;
+  // even a one-shard group therefore posts.
+  EXPECT_GT(windowed.sync.cross_posts, 0u);
   EXPECT_GT(windowed.sync.windows, 0u);
 }
 

@@ -1,0 +1,196 @@
+// Sharded DAOS protocol stack conformance (DESIGN.md §11c).
+//
+// The tentpole invariant of the sharded stack: a full benchmark run on
+// ShardGroup(N) produces bit-identical results for every shard count N —
+// same digests, same timestamps, same histogram buckets. ShardGroup(1)
+// (the full windowed protocol, inline) is the anchor; 2 and 4 must match
+// it exactly, for IOR on each RPC-shaped DAOS backend and for FDB under
+// an active fault plan. The legacy serial kernel (sim_jobs = 0) is a
+// different frozen total order and is *not* expected to match — its
+// outputs are pinned by the kernel/integration suites instead.
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/fault_injector.h"
+#include "apps/fdb.h"
+#include "apps/ior.h"
+#include "apps/pdes.h"
+#include "apps/testbed.h"
+#include "net/rpc.h"
+#include "obs/histogram.h"
+#include "placement/objclass.h"
+#include "sim/fault_plan.h"
+
+namespace daosim {
+namespace {
+
+void expectIdentical(const apps::RunResult& x, const apps::RunResult& y) {
+  ASSERT_EQ(x.procs, y.procs);
+  for (int ph = 0; ph < 2; ++ph) {
+    const apps::PhaseResult& p = x.phase[ph];
+    const apps::PhaseResult& q = y.phase[ph];
+    ASSERT_EQ(p.bytes, q.bytes);
+    ASSERT_EQ(p.ops, q.ops);
+    ASSERT_EQ(p.first_start, q.first_start);
+    ASSERT_EQ(p.last_end, q.last_end);
+    ASSERT_EQ(p.latency.count(), q.latency.count());
+    ASSERT_EQ(p.latency.min(), q.latency.min());
+    ASSERT_EQ(p.latency.max(), q.latency.max());
+    for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+      ASSERT_EQ(p.latency.bucketCount(i), q.latency.bucketCount(i));
+    }
+  }
+}
+
+constexpr int kServers = 4;
+constexpr int kClients = 4;
+constexpr int kPpn = 2;
+constexpr std::uint64_t kSeed = 11;
+
+apps::DaosTestbed makeTestbed(int shards, bool chaos) {
+  apps::DaosTestbed::Options opt;
+  opt.server_nodes = kServers;
+  opt.client_nodes = kClients;
+  opt.seed = kSeed;
+  opt.with_dfuse = false;
+  opt.sim_jobs = shards;
+  // Chaos runs switch the data path onto the retry policy, exactly as
+  // daosim_run does for a non-empty --faults plan.
+  if (chaos) opt.daos.rpc_retry = net::RetryPolicy::chaosDefault();
+  return apps::DaosTestbed(opt);
+}
+
+apps::RunResult runIorOn(int shards, const std::string& api) {
+  apps::DaosTestbed tb = makeTestbed(shards, /*chaos=*/false);
+  apps::IorConfig cfg;
+  cfg.ops = 12;
+  apps::Ior bench(tb.ioEnv(), api, cfg);
+  return apps::runSpmdSharded(tb.cluster(), *tb.shardGroup(),
+                              tb.clientSubset(kClients), kPpn, tb.seed(),
+                              bench);
+}
+
+struct FdbOutcome {
+  apps::RunResult run;
+  std::uint64_t events_applied = 0;
+  std::uint64_t rebuilds_completed = 0;
+  std::uint64_t rebuild_bytes_moved = 0;
+  std::uint64_t rpc_retries = 0;
+};
+
+/// FDB on `shards` shards, optionally under a fault plan. The object
+/// classes are replicated so degraded reads are recoverable; fault times
+/// must land in the read phase — acknowledged data stays *readable* with
+/// one target dead, but writes to a dead replica are a modeled hard error
+/// (see sim/fault_plan.h), serially and sharded alike.
+FdbOutcome runFdb(int shards, const std::string& plan_spec) {
+  apps::DaosTestbed tb = makeTestbed(shards, /*chaos=*/!plan_spec.empty());
+  std::optional<apps::FaultInjector> injector;
+  if (!plan_spec.empty()) {
+    sim::FaultTopology topo;
+    topo.engines = kServers;
+    topo.targets = tb.daos().totalTargets();
+    topo.nodes = static_cast<int>(tb.cluster().nodeCount());
+    injector.emplace(tb, sim::FaultPlan::parse(plan_spec, topo));
+    injector->install();
+  }
+  apps::FdbConfig cfg;
+  cfg.fields = 20;
+  cfg.array_oclass = placement::ObjClass::RP_2GX;
+  cfg.kv_oclass = placement::ObjClass::RP_2GX;
+  apps::Fdb bench(tb.ioEnv(), "daos-array", cfg);
+  FdbOutcome out;
+  out.run = apps::runSpmdSharded(tb.cluster(), *tb.shardGroup(),
+                                 tb.clientSubset(kClients), kPpn, tb.seed(),
+                                 bench);
+  if (injector) {
+    out.events_applied = injector->stats().events_applied;
+    out.rebuilds_completed = injector->stats().rebuilds_completed;
+    out.rebuild_bytes_moved = injector->stats().rebuild_bytes_moved;
+  }
+  out.rpc_retries = tb.cluster().rpcRetries();
+  return out;
+}
+
+/// Fault plan timed off a fault-free dry run: exclusion (fail + pool-map
+/// removal + background rebuild) a quarter into the read phase, a NIC
+/// flap on a client node at the midpoint. Sharded results are
+/// shard-count-invariant, so timing the plan from the ShardGroup(1) dry
+/// run places it identically for every shard count.
+std::string readPhasePlan(const apps::RunResult& dry) {
+  const apps::PhaseResult& rd = dry.read();
+  const sim::Time t_exclude = rd.first_start + rd.span() / 4;
+  const sim::Time t_flap = rd.first_start + rd.span() / 2;
+  return "exclude@" + std::to_string(t_exclude) + ":t3;flap@" +
+         std::to_string(t_flap) + ":n" + std::to_string(kServers + 1) +
+         "," + std::to_string(rd.span() / 4);
+}
+
+TEST(ShardStack, IorIdenticalAcrossShardCounts) {
+  // IOR on every RPC-shaped DAOS backend: ShardGroup(1) == (2) == (4),
+  // full RunResult equality (every histogram bucket) plus the digest the
+  // CLI prints under --stats.
+  for (const char* api : {"daos-array", "dfs", "hdf5-daos"}) {
+    SCOPED_TRACE(api);
+    const apps::RunResult one = runIorOn(1, api);
+    const apps::RunResult two = runIorOn(2, api);
+    const apps::RunResult four = runIorOn(4, api);
+    expectIdentical(one, two);
+    expectIdentical(one, four);
+    EXPECT_EQ(apps::runDigest(one), apps::runDigest(two));
+    EXPECT_EQ(apps::runDigest(one), apps::runDigest(four));
+    EXPECT_GT(one.write().ops, 0u);
+    EXPECT_GT(one.read().ops, 0u);
+  }
+}
+
+TEST(ShardStack, FdbWithFaultPlanIdenticalAcrossShardCounts) {
+  // FDB under an active fault plan: the exclusion broadcast, rebuild and
+  // retry/timeout races must all resolve shard-count-invariantly.
+  // Dry run with the chaos retry policy active but no effective fault (a
+  // no-op slowdown long after quiescence): its phase windows are the ones
+  // the faulted runs follow up to the first real fault, so the plan times
+  // derived from it land exactly where intended.
+  const FdbOutcome dry = runFdb(1, "slow@10s:t0,x1");
+  ASSERT_GT(dry.run.read().span(), 0u);
+  const std::string plan = readPhasePlan(dry.run);
+
+  const FdbOutcome one = runFdb(1, plan);
+  const FdbOutcome two = runFdb(2, plan);
+  const FdbOutcome four = runFdb(4, plan);
+  expectIdentical(one.run, two.run);
+  expectIdentical(one.run, four.run);
+  EXPECT_EQ(apps::runDigest(one.run), apps::runDigest(two.run));
+  EXPECT_EQ(apps::runDigest(one.run), apps::runDigest(four.run));
+  EXPECT_GT(one.run.write().ops, 0u);
+  EXPECT_GT(one.run.read().ops, 0u);
+  // The plan was live mid-run: both events applied, the exclusion kicked
+  // off a rebuild that moved data, and the result differs from the
+  // fault-free run — all shard-count-invariantly. (Degraded reads stay
+  // zero here by design: FDB re-opens every array at read time, so
+  // post-exclusion opens compute fresh layouts that avoid the dead
+  // target and land on the rebuilt replica.)
+  EXPECT_EQ(one.events_applied, 2u);
+  EXPECT_EQ(one.rebuilds_completed, 1u);
+  EXPECT_GT(one.rebuild_bytes_moved, 0u);
+  EXPECT_EQ(one.rebuild_bytes_moved, two.rebuild_bytes_moved);
+  EXPECT_EQ(one.rebuild_bytes_moved, four.rebuild_bytes_moved);
+  EXPECT_EQ(one.rpc_retries, two.rpc_retries);
+  EXPECT_EQ(one.rpc_retries, four.rpc_retries);
+  EXPECT_NE(apps::runDigest(one.run), apps::runDigest(dry.run));
+}
+
+TEST(ShardStack, ShardedRunsAreDeterministic) {
+  // Run-to-run: identical sharded runs agree bit-for-bit.
+  const apps::RunResult a = runIorOn(2, "daos-array");
+  const apps::RunResult b = runIorOn(2, "daos-array");
+  expectIdentical(a, b);
+  EXPECT_EQ(apps::runDigest(a), apps::runDigest(b));
+}
+
+}  // namespace
+}  // namespace daosim

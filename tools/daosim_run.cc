@@ -19,9 +19,11 @@
 //
 // The --api names come from the io::Backend registry (see io/backend.h);
 // --system is inferred from --api when omitted, and vice versa.
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <type_traits>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -63,7 +65,7 @@ struct Options {
   std::uint64_t transfer = 1 << 20;
   int reps = 3;
   int jobs = 0;      // 0 = DAOSIM_JOBS / hardware concurrency (sweep cells)
-  int sim_jobs = 0;  // 0 = DAOSIM_SIM_JOBS / 1 (serial kernel)
+  int sim_jobs = -1;  // -1 = DAOSIM_SIM_JOBS / 1; 0 and 1 = serial kernel
   std::uint64_t seed = 1;
   int pgs = 1024;
   int replicas = 1;
@@ -111,11 +113,26 @@ struct Options {
       "Parallelism: two independent knobs. --jobs (or DAOSIM_JOBS) runs\n"
       "repetitions (sweep cells) concurrently on a worker pool; results are\n"
       "identical to --jobs 1 for a fixed --seed because every repetition is\n"
-      "a self-contained simulation. --sim-jobs (or DAOSIM_SIM_JOBS) shards\n"
-      "ONE simulation's event queue across worker threads with conservative\n"
-      "lookahead — currently --bench pdes only; 1 (the default) is the\n"
-      "bit-identical serial kernel, and runs are deterministic for any\n"
-      "fixed N. --jobs x --sim-jobs threads must fit the machine.\n"
+      "a self-contained simulation. --sim-jobs N (or DAOSIM_SIM_JOBS)\n"
+      "shards ONE simulation's event queue across N worker threads with\n"
+      "conservative lookahead; 0 and 1 (the default) both mean the serial\n"
+      "kernel, bit-identical to builds before sharding existed, and any\n"
+      "fixed N >= 2 is deterministic — N=2 and N=4 print identical\n"
+      "results. --jobs x --sim-jobs threads must fit the machine.\n"
+      "--sim-jobs compatibility matrix (N > 1):\n"
+      "  supported:   --system daos with --api daos-array|dfs|hdf5-daos\n"
+      "               (aliases included) and --bench ior|fieldio|fdb; also\n"
+      "               --bench pdes; --faults, --shared, --queue-depth and\n"
+      "               --stats (which adds a 'result digest' line); \n"
+      "               --rpc-timeout must be 0 or >= 2x the fabric latency\n"
+      "               (16us) so a deadline cannot expire inside one shard\n"
+      "               synchronization window.\n"
+      "  serial-only: --system lustre|ceph; --api dfuse|dfuse-il|hdf5|\n"
+      "               lustre-posix|rados (FUSE daemons and foreign stacks\n"
+      "               share one simulation); --trace, --metrics,\n"
+      "               --telemetry, --exemplars (observers attach to a\n"
+      "               single serial simulation). Each conflict is reported\n"
+      "               naming the offending flag.\n"
       "--bench pdes is a hardware-level object-store workload (clients ->\n"
       "NIC -> per-server service queue -> NVMe -> response) built for\n"
       "intra-run sharding; it takes --servers/--clients/--ppn/--ops/\n"
@@ -228,7 +245,7 @@ Options parse(int argc, char** argv) {
       o.jobs = std::atoi(value());
     } else if (arg == "--sim-jobs") {
       o.sim_jobs = std::atoi(value());
-      if (o.sim_jobs < 1) usage(argv[0]);
+      if (o.sim_jobs < 0) usage(argv[0]);
     } else if (arg == "--seed") {
       o.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--pgs") {
@@ -273,7 +290,7 @@ Options parse(int argc, char** argv) {
       o.queue_depth <= 0 || (o.read_only && o.write_only)) {
     usage(argv[0]);
   }
-  if (o.sim_jobs == 0) o.sim_jobs = sim::envSimJobs();
+  if (o.sim_jobs < 0) o.sim_jobs = sim::envSimJobs();  // explicit 0 = serial
   if (o.jobs > 1 && o.sim_jobs > 1) {
     // Both knobs explicit: refuse silent oversubscription. (When --jobs is
     // omitted the pool below defaults to one worker instead.)
@@ -305,12 +322,6 @@ Options parse(int argc, char** argv) {
     }
     return o;  // no backend to resolve, and observer env fallbacks are moot
   }
-  if (o.sim_jobs > 1) {
-    throw std::invalid_argument(
-        "--sim-jobs > 1 (intra-run event-queue sharding) currently supports "
-        "--bench pdes only; the DAOS/Lustre/Ceph protocol stacks run on the "
-        "serial kernel. Use --jobs to parallelize repetitions instead.");
-  }
   resolveApiAndSystem(o);
   if (!o.faults.empty() && o.system != "daos") {
     throw std::invalid_argument("--faults requires --system daos");
@@ -329,6 +340,45 @@ Options parse(int argc, char** argv) {
   if (o.telemetry_file.empty()) o.telemetry_file = apps::telemetryEnvFile();
   if (o.telemetry_interval == 0) {
     o.telemetry_interval = apps::telemetryEnvInterval();
+  }
+  // --sim-jobs N > 1 compatibility gate. Every rejection names the
+  // specific conflicting flag; the full matrix is in --help. (Checked
+  // after the env fallbacks above so DAOSIM_TRACE & co. are caught too.)
+  if (o.sim_jobs > 1) {
+    auto reject = [](const std::string& flag, const std::string& why) {
+      throw std::invalid_argument(
+          "--sim-jobs > 1 is incompatible with " + flag + ": " + why +
+          ". Drop " + flag +
+          " or run on the serial kernel (--sim-jobs 1); see --help for "
+          "the compatibility matrix.");
+    };
+    if (o.system != "daos") {
+      reject("--system " + o.system,
+             "intra-run sharding deploys the DAOS testbed only; the "
+             "Lustre/Ceph stacks run on the serial kernel");
+    }
+    if (o.api != "daos-array" && o.api != "dfs" && o.api != "hdf5-daos") {
+      reject("--api " + o.api,
+             "sharded runs support the RPC-shaped DAOS backends "
+             "(daos-array, dfs, hdf5-daos); FUSE-daemon-backed APIs need "
+             "the serial kernel");
+    }
+    if (!o.trace_file.empty()) {
+      reject("--trace (or DAOSIM_TRACE)",
+             "observers attach to a single serial simulation");
+    }
+    if (o.exemplars > 0) {
+      reject("--exemplars (or DAOSIM_EXEMPLARS)",
+             "exemplar reservoirs attach to a single serial simulation");
+    }
+    if (!o.metrics_file.empty()) {
+      reject("--metrics (or DAOSIM_METRICS)",
+             "metrics observers attach to a single serial simulation");
+    }
+    if (!o.telemetry_file.empty()) {
+      reject("--telemetry (or DAOSIM_TELEMETRY)",
+             "telemetry samplers attach to a single serial simulation");
+    }
   }
   return o;
 }
@@ -386,21 +436,42 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
   }
   if (observer != nullptr) observer->attach(tb.sim());
   if (injector != nullptr) injector->install();
+  // Sharded DAOS testbeds dispatch through the ShardGroup harness; all
+  // other testbeds (and serial DAOS ones) use the frozen serial harness.
+  sim::ShardGroup* sg = nullptr;
+  if constexpr (std::is_same_v<Testbed, apps::DaosTestbed>) {
+    sg = tb.shardGroup();
+  }
+  const auto run = [&](apps::SpmdBenchmark& bench) {
+    return sg != nullptr
+               ? apps::runSpmdSharded(tb.cluster(), *sg,
+                                      tb.clientSubset(o.clients), o.ppn,
+                                      tb.seed(), bench)
+               : apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn,
+                               bench);
+  };
   apps::RunResult r;
   if (o.bench == "ior") {
     apps::Ior bench(tb.ioEnv(), o.api, iorConfig(o));
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+    r = run(bench);
   } else if (o.bench == "fieldio") {
     apps::FieldIoConfig cfg;
     cfg.field_size = o.transfer;
     cfg.fields = opCount(o);
     apps::FieldIo bench(tb.ioEnv(), o.api, cfg);
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+    r = run(bench);
   } else if (o.bench == "fdb") {
     apps::Fdb bench(tb.ioEnv(), o.api, fdbConfig(o));
-    r = apps::runSpmd(tb.sim(), tb.clientSubset(o.clients), o.ppn, bench);
+    r = run(bench);
   } else {
     throw std::invalid_argument("unknown --bench: " + o.bench);
+  }
+  if (stats && sg != nullptr) {
+    apps::reportShardSync(std::cout, sg->stats());
+    // Shard-count-invariant fingerprint (see apps::runDigest): CI compares
+    // this line across --sim-jobs values. The sync counters above are not
+    // invariant (per-shard tallies depend on the layout); the digest is.
+    std::printf("result digest %016" PRIx64 "\n", apps::runDigest(r));
   }
   if (injector != nullptr) {
     injector->rethrowIfFailed();
@@ -437,6 +508,20 @@ apps::RunResult runDaos(const Options& o, std::uint64_t seed, bool stats,
     opt.daos.rpc_retry = net::RetryPolicy::chaosDefault();
     if (o.rpc_timeout > 0) opt.daos.rpc_retry.timeout = o.rpc_timeout;
     if (o.rpc_retries >= 0) opt.daos.rpc_retry.max_retries = o.rpc_retries;
+  }
+  if (o.sim_jobs > 1) {
+    opt.sim_jobs = o.sim_jobs;
+    opt.with_dfuse = false;  // FUSE daemons are serial-only (APIs gated)
+    const sim::Time min_timeout = 2 * hw::FabricSpec{}.latency;
+    if (opt.daos.rpc_retry.enabled() && opt.daos.rpc_retry.timeout > 0 &&
+        opt.daos.rpc_retry.timeout < min_timeout) {
+      throw std::invalid_argument(
+          "--rpc-timeout must be 0 (disabled) or >= " +
+          std::to_string(min_timeout) +
+          "ns (2x the fabric latency) when --sim-jobs > 1: a shorter "
+          "per-attempt deadline could expire inside one shard "
+          "synchronization window");
+    }
   }
   apps::DaosTestbed tb(opt);
   std::optional<apps::FaultInjector> injector;
@@ -559,7 +644,11 @@ int main(int argc, char** argv) {
           const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
           const bool last = rep == static_cast<std::size_t>(o.reps) - 1;
           const bool stats = o.stats && last;
-          obs::Observer* obsp = want_obs && last ? &observer : nullptr;
+          // Observers are serial-only; under --sim-jobs > 1 the gates in
+          // parse() leave --stats as the only want_obs source, and the
+          // digest/summary paths below it do not need an attached observer.
+          obs::Observer* obsp =
+              want_obs && last && o.sim_jobs <= 1 ? &observer : nullptr;
           // Non-last reps get a local observer when exemplars are on, so
           // the reservoir sees the tail of every repetition.
           std::optional<obs::Observer> rep_obs;
