@@ -70,6 +70,7 @@ def check_suite(baseline_path: str, results_path: str, tolerance: float) -> bool
         return True
 
     failed = False
+    missing = []
     print(f"[{baseline_path} vs {results_path}]")
     print(f"{'benchmark':<30} {'baseline':>10} {'measured':>10} {'delta':>8}")
     for entry in baseline["benchmarks"]:
@@ -78,8 +79,11 @@ def check_suite(baseline_path: str, results_path: str, tolerance: float) -> bool
         tol = float(entry.get("tolerance", tolerance))
         got = medians.get(name)
         if got is None:
+            # A baseline entry the current bench binary no longer emits is a
+            # coverage gap (a filter changed, a bench was renamed), not a
+            # throughput regression: warn loudly, keep the gate green.
             print(f"{name:<30} {'':>10} {'MISSING':>10}")
-            failed = True
+            missing.append(name)
             continue
         delta = got / want - 1.0
         mark = ""
@@ -88,6 +92,11 @@ def check_suite(baseline_path: str, results_path: str, tolerance: float) -> bool
             failed = True
         print(f"{name:<30} {want / 1e6:>9.2f}M {got / 1e6:>9.2f}M "
               f"{delta:>+7.1%}{mark}")
+    if missing:
+        print(f"warning: {len(missing)} baseline entr"
+              f"{'y' if len(missing) == 1 else 'ies'} missing from "
+              f"{results_path} (not failing the gate): {', '.join(missing)}",
+              file=sys.stderr)
     print()
     return failed
 

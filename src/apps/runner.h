@@ -123,8 +123,10 @@ RunResult runSpmd(sim::Simulation& sim, const std::vector<hw::NodeId>& nodes,
 /// shard with a start stagger and a pacing RNG lane (both functions of
 /// (seed, rank) only — shard-count-invariant), phases synchronize on a
 /// ShardBarrier, results accumulate into per-shard lanes merged in shard
-/// order after ShardGroup::run(). Observers/telemetry are not attached
-/// (serial-only; enforced by the CLI's compatibility gate).
+/// order after ShardGroup::run(). Observers attach one lane per shard
+/// (obs::ObserverGroup, merged deterministically after the run) and
+/// telemetry samples one raw lane per shard (apps::ShardedRunTelemetry);
+/// neither is wired here — the CLI sets both up around this call.
 RunResult runSpmdSharded(hw::Cluster& cluster, sim::ShardGroup& group,
                          const std::vector<hw::NodeId>& nodes,
                          int procs_per_node, std::uint64_t seed,

@@ -90,9 +90,11 @@ class Cluster {
   /// Sharded cluster: nodes are placed on the shards of `group` (see
   /// addNode's shard parameter) and cross-node sends become coroutine
   /// migrations. Requires the group's lookahead to not exceed the fabric
-  /// latency — the conservative-safety bound for NIC sends. Fault
-  /// injection, observers and telemetry are not supported on the sharded
-  /// path (enforced by the callers that enable sharding).
+  /// latency — the conservative-safety bound for NIC sends. Observers
+  /// attach per shard (obs::ObserverGroup) and send legs carry the OpId
+  /// across the migration; telemetry reads the per-lane counter accessors
+  /// below. Fault-injector telemetry probes remain serial-only (enforced
+  /// by the CLI's compatibility gate).
   explicit Cluster(sim::ShardGroup& group, FabricSpec fabric = {})
       : sim_(&group.shard(0)), group_(&group), fabric_(fabric) {
     if (group.lookahead() > fabric_.latency) {
@@ -150,7 +152,7 @@ class Cluster {
   /// server-side stations are local again).
   sim::Task<void> send(NodeId src, NodeId dst, std::uint64_t bytes,
                        obs::OpId op = 0, obs::Cat cat = obs::Cat::kOther) {
-    return group_ != nullptr ? shardedSend(src, dst, bytes, cat)
+    return group_ != nullptr ? shardedSend(src, dst, bytes, op, cat)
                              : serialSend(src, dst, bytes, op, cat);
   }
 
@@ -268,9 +270,9 @@ class Cluster {
   /// Per-shard counter blocks keep the bookkeeping race-free; rx bytes are
   /// noted at arrival (not at t0 as serially), which shifts no totals.
   sim::Task<void> shardedSend(NodeId src, NodeId dst, std::uint64_t bytes,
-                              obs::Cat cat) {
+                              obs::OpId op, obs::Cat cat) {
     const SendOutcome out =
-        co_await shardedSendAttempt(src, dst, bytes, cat, /*deadline=*/0);
+        co_await shardedSendAttempt(src, dst, bytes, op, cat, /*deadline=*/0);
     if (out == SendOutcome::kLinkDown) {
       throw NetworkDown("node" + std::to_string(shardLinkDown(
                                      nodeShard(src), src)
@@ -292,8 +294,8 @@ class Cluster {
   /// land inside the synchronization window); callers enforce
   /// timeout >= 2 * fabric latency.
   sim::Task<SendOutcome> shardedSendAttempt(NodeId src, NodeId dst,
-                                            std::uint64_t bytes, obs::Cat cat,
-                                            sim::Time deadline) {
+                                            std::uint64_t bytes, obs::OpId op,
+                                            obs::Cat cat, sim::Time deadline) {
     Node& s = node(src);
     const int sshard = nodeShard(src);
     sim::Simulation& ssim = s.sim();
@@ -317,11 +319,29 @@ class Cluster {
       ++c.inflight;
     }
     const sim::Time started = ssim.now();
+    // Pre-open the "send" leg on the source lane's observer, exactly as the
+    // serial path does; the id travels with the coroutine across the
+    // migration and the charging leg is recorded on the destination lane
+    // (the merge reconciles the two lanes through the allocation journal).
+    obs::LegId send_leg = 0;
+    obs::OpId ctx = op;
+    if (op != 0) {
+      if (obs::Observer* o = ssim.observer()) {
+        send_leg = o->openLeg(op);
+        if (send_leg != 0) ctx = obs::withParent(op, send_leg);
+      }
+    }
     if (src == dst) {
       co_await ssim.delay(2 * sim::kMicrosecond);  // loopback hop
       ShardCounters& c = shard_ctr_[static_cast<std::size_t>(sshard)];
       --c.inflight;
       c.send_ns += ssim.now() - started;
+      if (op != 0) {
+        if (obs::Observer* o = ssim.observer()) {
+          o->leg(op, cat, o->track(src, "net"), "send", started, 0,
+                 obs::Cat::kServerQueue, send_leg);
+        }
+      }
       co_return SendOutcome::kDelivered;
     }
     Node& d = node(dst);
@@ -332,7 +352,9 @@ class Cluster {
         s.spec().nic.per_message + transferTime(wire, s.spec().nic.gibps);
     const sim::Time rx_time =
         d.spec().nic.per_message + transferTime(wire, d.spec().nic.gibps);
-    const sim::Time t_tx = s.tx().reserve(tx_time);
+    // Structure-only NIC legs under the "send" parent, like exec()'s on the
+    // serial path (reserve records them with the analytic completion time).
+    const sim::Time t_tx = s.tx().reserve(tx_time, ctx, cat);
     // Delivery goes through the window mailbox even when both endpoints
     // share a shard: the flush orders same-nanosecond deliveries by
     // (time, key), with the key a function of (src, dst, departure time)
@@ -347,7 +369,7 @@ class Cluster {
     // From here the coroutine runs on dst's shard, at started + latency.
     sim::Simulation& dsim = d.sim();
     d.rx().noteBytes(wire);
-    const sim::Time t_rx = d.rx().reserve(rx_time);
+    const sim::Time t_rx = d.rx().reserve(rx_time, ctx, cat);
     const sim::Time done = t_tx > t_rx ? t_tx : t_rx;
     if (deadline > 0 && done > deadline) {
       {
@@ -356,6 +378,15 @@ class Cluster {
         c.send_ns += done - started;
       }
       const sim::Time arrive = dsim.now();
+      // The abandoned transfer still finishes at `done`; record its leg
+      // with the explicit end, as the serial timeout race does when the
+      // spawned delivery outlives the client's patience.
+      if (op != 0) {
+        if (obs::Observer* o = dsim.observer()) {
+          o->legAt(op, cat, o->track(src, "net"), "send", started, done, 0,
+                   obs::Cat::kServerQueue, send_leg);
+        }
+      }
       sim::Time back = arrive + fabric_.latency;
       if (deadline > back) back = deadline;
       co_await group_->migrate(dshard, sshard, back, sendKey(dst, src, arrive));
@@ -365,6 +396,12 @@ class Cluster {
     ShardCounters& c = shard_ctr_[static_cast<std::size_t>(dshard)];
     --c.inflight;
     c.send_ns += dsim.now() - started;
+    if (op != 0) {
+      if (obs::Observer* o = dsim.observer()) {
+        o->leg(op, cat, o->track(src, "net"), "send", started, 0,
+               obs::Cat::kServerQueue, send_leg);
+      }
+    }
     co_return SendOutcome::kDelivered;
   }
   std::uint64_t messages() const noexcept {
@@ -392,6 +429,37 @@ class Cluster {
   }
   std::uint64_t rpcResponses() const noexcept {
     return sumCtr(rpc_responses_, &ShardCounters::rpc_responses);
+  }
+
+  // --- per-lane telemetry feed (sharded runs) -------------------------
+  // One shard's share of the counters above, written only by that shard's
+  // thread; sharded telemetry registers one probe per lane under the same
+  // net/* path and sums the raw samples at merge time, which reproduces
+  // the serial accessor values exactly (integer sums).
+  std::uint64_t laneMessages(int s) const noexcept {
+    return laneRef(s).messages;
+  }
+  std::uint64_t laneBytesSent(int s) const noexcept {
+    return laneRef(s).bytes_sent;
+  }
+  std::int64_t laneInflight(int s) const noexcept {
+    return laneRef(s).inflight;
+  }
+  sim::Time laneSendTime(int s) const noexcept { return laneRef(s).send_ns; }
+  std::uint64_t laneRpcRequests(int s) const noexcept {
+    return laneRef(s).rpc_requests;
+  }
+  std::uint64_t laneRpcResponses(int s) const noexcept {
+    return laneRef(s).rpc_responses;
+  }
+  std::uint64_t laneRpcRetries(int s) const noexcept {
+    return laneRef(s).retries;
+  }
+  std::uint64_t laneRpcTimeouts(int s) const noexcept {
+    return laneRef(s).timeouts;
+  }
+  std::uint64_t laneSendFailures(int s) const noexcept {
+    return laneRef(s).send_failures;
   }
 
   // --- fault injection (see sim/fault_plan.h, net/retry.h) ------------
@@ -477,6 +545,10 @@ class Cluster {
     T total = serial;
     for (const auto& c : shard_ctr_) total += static_cast<T>(c.*m);
     return total;
+  }
+
+  const ShardCounters& laneRef(int s) const noexcept {
+    return shard_ctr_[static_cast<std::size_t>(s)];
   }
 
   /// The calling shard's counter lane, or nullptr on the serial path.

@@ -92,7 +92,7 @@ sim::Task<void> sendWithRetry(hw::Cluster* cluster, hw::NodeId src,
       const sim::Time deadline =
           policy.timeout > 0 ? ssim.now() + policy.timeout : 0;
       const hw::Cluster::SendOutcome out = co_await cluster->shardedSendAttempt(
-          src, dst, wire_bytes, cat, deadline);
+          src, dst, wire_bytes, op, cat, deadline);
       if (out == hw::Cluster::SendOutcome::kDelivered) co_return;
       const bool timed = out == hw::Cluster::SendOutcome::kTimedOut;
       if (timed) cluster->noteRpcTimeout();

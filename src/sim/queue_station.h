@@ -80,6 +80,30 @@ class QueueStation {
     return free_at_;
   }
 
+  /// reserve() recording a station leg for `op`, mirroring exec()'s
+  /// instrumentation: the leg spans [now, completion] with the queue-wait
+  /// prefix explicit. The completion lies in the future, so the leg is
+  /// recorded with an explicit end time (Observer::structLegAt/legAt); the
+  /// sharded Cluster send path uses this to keep NIC legs on the sharded
+  /// path identical to exec()'s on the serial one.
+  Time reserve(Time service, obs::OpId op, obs::Cat cat = obs::Cat::kService,
+               bool nested = true) {
+    const Time queued_at = sim_->now();
+    const Time done = reserve(service);
+    if (op != 0) {
+      if (obs::Observer* o = sim_->observer()) {
+        const Time wait = done - service - queued_at;
+        if (nested) {
+          o->structLegAt(op, cat, obsTrack(o), "service", queued_at, done,
+                         wait);
+        } else {
+          o->legAt(op, cat, obsTrack(o), "service", queued_at, done, wait);
+        }
+      }
+    }
+    return done;
+  }
+
   /// Manually occupies a server for work whose duration is not known up
   /// front (e.g. a FUSE thread held across a backend operation). Returns the
   /// acquisition time; pass it to leave() so the hold is accumulated into

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 
 #include "sim/rng.h"
@@ -10,6 +11,13 @@ namespace daosim::sim {
 
 namespace {
 thread_local int t_current_shard = -1;
+
+std::uint64_t wallNow() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
 
 int currentShard() noexcept { return t_current_shard; }
@@ -56,6 +64,8 @@ ShardGroup::ShardGroup(const Options& opts)
   stats_.shards = opts.shards;
   stats_.lookahead = lookahead_;
   stats_.shard_events.assign(n, 0);
+  stats_.shard_busy_ns.assign(n, 0);
+  stats_.shard_wait_ns.assign(n, 0);
   if (opts.shards > 1) {
     workers_.reserve(n);
     for (int i = 0; i < opts.shards; ++i) {
@@ -89,12 +99,17 @@ void ShardGroup::runShardWindow(int shard) {
   auto& s = *sims_[static_cast<std::size_t>(shard)];
   const int prev = t_current_shard;
   t_current_shard = shard;
+  // Wall-clock busy time: written only by this shard's executing thread; the
+  // window barrier (pending_ under mu_) orders it against coordinator reads,
+  // the same argument shard_events relies on.
+  const std::uint64_t t0 = wallNow();
   try {
     stats_.shard_events[static_cast<std::size_t>(shard)] +=
         s.runWindow(window_end_, max_window_events_);
   } catch (...) {
     errors_[static_cast<std::size_t>(shard)] = std::current_exception();
   }
+  stats_.shard_busy_ns[static_cast<std::size_t>(shard)] += wallNow() - t0;
   t_current_shard = prev;
 }
 
@@ -102,10 +117,13 @@ void ShardGroup::workerLoop(int shard) {
   std::uint64_t seen = 0;
   for (;;) {
     {
+      const std::uint64_t w0 = wallNow();
       std::unique_lock<std::mutex> lock(mu_);
       cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
+      if (stop_) return;  // teardown idle is not barrier wait
       seen = generation_;
+      // Recorded under mu_, so the coordinator's post-run read is ordered.
+      stats_.shard_wait_ns[static_cast<std::size_t>(shard)] += wallNow() - w0;
     }
     runShardWindow(shard);
     {
@@ -161,6 +179,9 @@ std::size_t ShardGroup::flushMailboxes() {
       s.scheduleAt(e.t, e.h);
     }
     delivered += items.size();
+    ++stats_.mailbox_flushes;
+    stats_.mailbox_entries += items.size();
+    stats_.mailbox_bytes += items.size() * sizeof(MailboxEntry);
   }
   stats_.cross_posts += delivered;
   return delivered;

@@ -84,7 +84,13 @@ class ShardGroup;
 /// without threading a shard id through every call signature.
 int currentShard() noexcept;
 
-/// Synchronization-protocol counters, reported under daosim_run --stats.
+/// Synchronization-protocol counters, reported under daosim_run --stats and
+/// exported as the `pdes/*` telemetry subtree. The `*_ns` vectors are
+/// wall-clock (std::chrono::steady_clock) measurements of the host threads,
+/// not simulated time: they describe how well the shard layout parallelizes
+/// and are therefore nondeterministic run to run — byte-compare harnesses
+/// must filter them (the frozen-output tests and CI exclude `pdes/` rows and
+/// the wall-clock stats-report lines).
 struct ShardSyncStats {
   int shards = 0;
   Time lookahead = 0;
@@ -92,8 +98,16 @@ struct ShardSyncStats {
   std::uint64_t cross_posts = 0;       ///< coroutine migrations between shards
   std::uint64_t barrier_releases = 0;  ///< quiescence barrier resolutions
   std::uint64_t late_releases = 0;     ///< releases clamped to a shard clock
+  std::uint64_t mailbox_flushes = 0;   ///< nonempty per-destination drains
+  std::uint64_t mailbox_entries = 0;   ///< entries moved by those drains
+  std::uint64_t mailbox_bytes = 0;     ///< entries * sizeof(MailboxEntry)
   std::size_t events = 0;              ///< events processed, all shards
   std::vector<std::size_t> shard_events;
+  /// Wall-clock ns each shard's thread spent executing its windows.
+  std::vector<std::uint64_t> shard_busy_ns;
+  /// Wall-clock ns each worker spent parked between windows (barrier wait;
+  /// zero on the inline single-shard path, which has no workers).
+  std::vector<std::uint64_t> shard_wait_ns;
 };
 
 /// Cyclic barrier whose parties are spread across the shards of one group.

@@ -10,6 +10,7 @@
 // outputs are pinned by the kernel/integration suites instead.
 #include <cstdint>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,9 +20,13 @@
 #include "apps/fdb.h"
 #include "apps/ior.h"
 #include "apps/pdes.h"
+#include "apps/telemetry_probes.h"
 #include "apps/testbed.h"
 #include "net/rpc.h"
+#include "obs/critical_path.h"
 #include "obs/histogram.h"
+#include "obs/observer.h"
+#include "obs/telemetry.h"
 #include "placement/objclass.h"
 #include "sim/fault_plan.h"
 
@@ -182,6 +187,95 @@ TEST(ShardStack, FdbWithFaultPlanIdenticalAcrossShardCounts) {
   EXPECT_EQ(one.rpc_retries, two.rpc_retries);
   EXPECT_EQ(one.rpc_retries, four.rpc_retries);
   EXPECT_NE(apps::runDigest(one.run), apps::runDigest(dry.run));
+}
+
+/// Every observer output from a sharded IOR run, as strings: trace JSON,
+/// metrics CSV, exemplar tail report, telemetry CSV. Per-shard lanes are
+/// collected during the run and merged at the end — the deterministic
+/// merge is the thing under test, so each artifact must be byte-identical
+/// for every shard count. Telemetry rows under pdes/* carry wall-clock
+/// engine introspection (nondeterministic by nature) and are stripped
+/// before the compare, exactly as DESIGN.md §11c tells harnesses to do.
+struct ObservedOutputs {
+  apps::RunResult run;
+  std::string trace;
+  std::string metrics;
+  std::string exemplars;
+  std::string telemetry;
+};
+
+std::string stripPdesRows(const std::string& csv) {
+  std::istringstream is(csv);
+  std::ostringstream os;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("pdes/") != std::string::npos) continue;
+    os << line << "\n";
+  }
+  return os.str();
+}
+
+ObservedOutputs runObservedIor(int shards) {
+  apps::DaosTestbed tb = makeTestbed(shards, /*chaos=*/false);
+  obs::Observer out;
+  out.enableTracing();
+  out.enableExemplars(3, 0);
+  // Local hub: each shard count writes its own rep/0 dump, so reusing the
+  // global hub would collide labels across the three runs.
+  obs::TelemetryHub hub;
+  ObservedOutputs r;
+  {
+    obs::ObserverGroup og(*tb.shardGroup());
+    apps::ShardedRunTelemetry telem(tb, "rep/0", /*enabled=*/true,
+                                    sim::kMillisecond, &hub);
+    apps::IorConfig cfg;
+    cfg.ops = 12;
+    apps::Ior bench(tb.ioEnv(), "daos-array", cfg);
+    r.run = apps::runSpmdSharded(tb.cluster(), *tb.shardGroup(),
+                                 tb.clientSubset(kClients), kPpn, tb.seed(),
+                                 bench);
+    telem.noteShardStats(tb.shardGroup()->stats());
+    og.mergeInto(out);
+  }  // telem dtor merges the per-shard lanes into the hub
+  std::ostringstream trace_os;
+  out.writeChromeTrace(trace_os);
+  r.trace = trace_os.str();
+  out.exportMetrics();
+  std::ostringstream metrics_os;
+  out.metrics().writeCsv(metrics_os);
+  r.metrics = metrics_os.str();
+  std::ostringstream tail_os;
+  out.writeTailReport(tail_os);
+  r.exemplars = tail_os.str();
+  std::ostringstream telem_os;
+  hub.writeCsv(telem_os);
+  r.telemetry = stripPdesRows(telem_os.str());
+  return r;
+}
+
+TEST(ShardStack, ObserverOutputsIdenticalAcrossShardCounts) {
+  // The frozen contract for sharded observability: trace, metrics,
+  // exemplar, and telemetry exporter bytes are identical for every shard
+  // count (pdes/* wall-clock rows excepted). ShardGroup(1) anchors.
+  const ObservedOutputs one = runObservedIor(1);
+  const ObservedOutputs two = runObservedIor(2);
+  const ObservedOutputs four = runObservedIor(4);
+  expectIdentical(one.run, two.run);
+  expectIdentical(one.run, four.run);
+  // Sanity: the artifacts are non-trivial, not vacuously equal.
+  EXPECT_GT(one.trace.size(), 100u);
+  EXPECT_NE(one.trace.find("\"ph\""), std::string::npos);
+  EXPECT_GT(one.metrics.size(), 10u);
+  EXPECT_NE(one.exemplars.find("slowest"), std::string::npos);
+  EXPECT_NE(one.telemetry.find("net/"), std::string::npos);
+  EXPECT_EQ(one.trace, two.trace);
+  EXPECT_EQ(one.trace, four.trace);
+  EXPECT_EQ(one.metrics, two.metrics);
+  EXPECT_EQ(one.metrics, four.metrics);
+  EXPECT_EQ(one.exemplars, two.exemplars);
+  EXPECT_EQ(one.exemplars, four.exemplars);
+  EXPECT_EQ(one.telemetry, two.telemetry);
+  EXPECT_EQ(one.telemetry, four.telemetry);
 }
 
 TEST(ShardStack, ShardedRunsAreDeterministic) {

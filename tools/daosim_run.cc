@@ -123,16 +123,20 @@ struct Options {
       "  supported:   --system daos with --api daos-array|dfs|hdf5-daos\n"
       "               (aliases included) and --bench ior|fieldio|fdb; also\n"
       "               --bench pdes; --faults, --shared, --queue-depth and\n"
-      "               --stats (which adds a 'result digest' line); \n"
-      "               --rpc-timeout must be 0 or >= 2x the fabric latency\n"
-      "               (16us) so a deadline cannot expire inside one shard\n"
-      "               synchronization window.\n"
+      "               --stats (which adds a 'result digest' line);\n"
+      "               --trace, --metrics, --telemetry and --exemplars\n"
+      "               (per-shard collection, merged deterministically —\n"
+      "               exporter bytes are identical for every N, and\n"
+      "               --telemetry adds a pdes/* engine-introspection\n"
+      "               subtree); --rpc-timeout must be 0 or >= 2x the\n"
+      "               fabric latency (16us) so a deadline cannot expire\n"
+      "               inside one shard synchronization window.\n"
       "  serial-only: --system lustre|ceph; --api dfuse|dfuse-il|hdf5|\n"
       "               lustre-posix|rados (FUSE daemons and foreign stacks\n"
-      "               share one simulation); --trace, --metrics,\n"
-      "               --telemetry, --exemplars (observers attach to a\n"
-      "               single serial simulation). Each conflict is reported\n"
-      "               naming the offending flag.\n"
+      "               share one simulation); --faults combined with\n"
+      "               --telemetry (the faults/* probes sample cross-shard\n"
+      "               fault state). Each conflict is reported naming the\n"
+      "               offending flag.\n"
       "--bench pdes is a hardware-level object-store workload (clients ->\n"
       "NIC -> per-server service queue -> NVMe -> response) built for\n"
       "intra-run sharding; it takes --servers/--clients/--ppn/--ops/\n"
@@ -363,21 +367,14 @@ Options parse(int argc, char** argv) {
              "(daos-array, dfs, hdf5-daos); FUSE-daemon-backed APIs need "
              "the serial kernel");
     }
-    if (!o.trace_file.empty()) {
-      reject("--trace (or DAOSIM_TRACE)",
-             "observers attach to a single serial simulation");
-    }
-    if (o.exemplars > 0) {
-      reject("--exemplars (or DAOSIM_EXEMPLARS)",
-             "exemplar reservoirs attach to a single serial simulation");
-    }
-    if (!o.metrics_file.empty()) {
-      reject("--metrics (or DAOSIM_METRICS)",
-             "metrics observers attach to a single serial simulation");
-    }
-    if (!o.telemetry_file.empty()) {
-      reject("--telemetry (or DAOSIM_TELEMETRY)",
-             "telemetry samplers attach to a single serial simulation");
+    // --trace/--metrics/--telemetry/--exemplars are shard-aware: per-shard
+    // collection with a deterministic merge (obs::ObserverGroup,
+    // obs::Telemetry::mergeLanes) keeps every exporter's bytes identical
+    // across shard counts. One remaining conflict:
+    if (!o.faults.empty() && !o.telemetry_file.empty()) {
+      reject("--faults with --telemetry (or DAOSIM_TELEMETRY)",
+             "the fault injector's faults/* telemetry probes sample "
+             "cross-shard fault state and are serial-only");
     }
   }
   return o;
@@ -425,23 +422,41 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
                          obs::Observer* observer, const std::string& run_label,
                          apps::FaultInjector* injector = nullptr) {
   const sim::Time t0 = tb.sim().now();
-  // Scoped: the registry detaches and lands in TelemetryHub::global()
-  // (keyed by the deterministic rep label) before the testbed dies.
-  apps::ScopedRunTelemetry telem(tb.sim(), run_label,
-                                 !o.telemetry_file.empty(),
-                                 o.telemetry_interval);
-  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
-  if (telem.active() && injector != nullptr) {
-    injector->registerTelemetry(telem.telemetry());
-  }
-  if (observer != nullptr) observer->attach(tb.sim());
-  if (injector != nullptr) injector->install();
   // Sharded DAOS testbeds dispatch through the ShardGroup harness; all
   // other testbeds (and serial DAOS ones) use the frozen serial harness.
   sim::ShardGroup* sg = nullptr;
   if constexpr (std::is_same_v<Testbed, apps::DaosTestbed>) {
     sg = tb.shardGroup();
   }
+  // Scoped: the registry detaches and lands in TelemetryHub::global()
+  // (keyed by the deterministic rep label) before the testbed dies. A
+  // sharded run collects one raw-sample lane per shard instead and merges
+  // them under the same label (apps::ShardedRunTelemetry).
+  apps::ScopedRunTelemetry telem(tb.sim(), run_label,
+                                 sg == nullptr && !o.telemetry_file.empty(),
+                                 o.telemetry_interval);
+  if (telem.active()) apps::registerProbes(telem.telemetry(), tb);
+  if (telem.active() && injector != nullptr) {
+    injector->registerTelemetry(telem.telemetry());
+  }
+  std::optional<apps::ShardedRunTelemetry> stelem;
+  if constexpr (std::is_same_v<Testbed, apps::DaosTestbed>) {
+    if (sg != nullptr && !o.telemetry_file.empty()) {
+      stelem.emplace(tb, run_label, true, o.telemetry_interval);
+    }
+  }
+  // Sharded runs observe through one lane per shard; the lanes journal and
+  // ObserverGroup::mergeInto rebuilds the serial-equivalent state in
+  // `observer` after the run (same exporter bytes for every shard count).
+  std::optional<obs::ObserverGroup> og;
+  if (observer != nullptr) {
+    if (sg != nullptr) {
+      og.emplace(*sg);
+    } else {
+      observer->attach(tb.sim());
+    }
+  }
+  if (injector != nullptr) injector->install();
   const auto run = [&](apps::SpmdBenchmark& bench) {
     return sg != nullptr
                ? apps::runSpmdSharded(tb.cluster(), *sg,
@@ -466,6 +481,14 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
   } else {
     throw std::invalid_argument("unknown --bench: " + o.bench);
   }
+  if (og.has_value()) {
+    // Deterministic merge: lanes detach, the journals are reconciled, and
+    // `observer` ends up in the exact state a serial observer of the same
+    // run would hold (enableTracing/enableExemplars on it apply).
+    og->mergeInto(*observer);
+    og.reset();
+  }
+  if (sg != nullptr && stelem.has_value()) stelem->noteShardStats(sg->stats());
   if (stats && sg != nullptr) {
     apps::reportShardSync(std::cout, sg->stats());
     // Shard-count-invariant fingerprint (see apps::runDigest): CI compares
@@ -480,7 +503,7 @@ apps::RunResult runBench(const Options& o, Testbed& tb, bool stats,
   if (stats) apps::reportUtilization(std::cout, tb, tb.sim().now() - t0);
   if (observer != nullptr) {
     if (stats) observer->writeBreakdown(std::cout);
-    observer->detach();  // tb's simulation dies with this scope
+    if (sg == nullptr) observer->detach();  // tb's sim dies with this scope
   }
   return r;
 }
@@ -644,11 +667,10 @@ int main(int argc, char** argv) {
           const std::uint64_t seed = o.seed + static_cast<std::uint64_t>(rep);
           const bool last = rep == static_cast<std::size_t>(o.reps) - 1;
           const bool stats = o.stats && last;
-          // Observers are serial-only; under --sim-jobs > 1 the gates in
-          // parse() leave --stats as the only want_obs source, and the
-          // digest/summary paths below it do not need an attached observer.
-          obs::Observer* obsp =
-              want_obs && last && o.sim_jobs <= 1 ? &observer : nullptr;
+          // Sharded runs route the observer through an ObserverGroup (one
+          // lane per shard) inside runBench and merge into it afterwards,
+          // so the exporters below read the same state either way.
+          obs::Observer* obsp = want_obs && last ? &observer : nullptr;
           // Non-last reps get a local observer when exemplars are on, so
           // the reservoir sees the tail of every repetition.
           std::optional<obs::Observer> rep_obs;
@@ -715,8 +737,14 @@ int main(int argc, char** argv) {
       if (o.stats) {
         std::stringstream ss;
         hub.writeCsv(ss, extra);
+        const obs::TelemetryDump dump = obs::parseTelemetryCsv(ss);
         std::cout << "\n-- telemetry bottleneck report --\n";
-        obs::writeReport(std::cout, obs::analyze(obs::parseTelemetryCsv(ss)));
+        obs::writeReport(std::cout, obs::analyze(dump));
+        const obs::PdesAnalysis pdes = obs::analyzePdes(dump);
+        if (pdes.present) {
+          std::cout << "\n-- pdes engine --\n";
+          obs::writePdesReport(std::cout, pdes);
+        }
       }
     }
     printSummary(o, m);

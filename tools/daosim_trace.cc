@@ -13,6 +13,7 @@
 //
 // Exits non-zero (with no partial output) on missing files or a trace
 // schema this build does not understand.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,10 +40,81 @@ namespace {
       "  exemplars FILE        slowest ops per type with full leg trees\n"
       "  folded FILE           folded-stack flamegraph lines to stdout\n"
       "  diff FILE_A FILE_B    per-station comparison of two runs\n"
+      "  hops FILE             cross-node ops: node (pid) chains in visit\n"
+      "                        order with per-hop send-leg latencies —\n"
+      "                        the view of op spans stitched across shard\n"
+      "                        mailbox migrations in a --sim-jobs trace\n"
       "options:\n"
-      "  --top N               exemplar count per op type (default 5)\n",
+      "  --top N               exemplar count per op type, or detailed op\n"
+      "                        count for hops (default 5)\n",
       argv0);
   std::exit(2);
+}
+
+/// Cross-node op report: ops whose legs touch more than one trace pid
+/// (node), the node chain in first-visit order, and every "send" leg's
+/// latency. In a sharded trace these are exactly the spans that migrated
+/// between shards through the cluster mailbox; the chains surviving the
+/// deterministic merge intact is what "stitched" means.
+void writeHops(std::ostream& os, const daosim::obs::TraceDump& d,
+               std::size_t top) {
+  using daosim::obs::OpRecord;
+  using daosim::obs::TraceEvent;
+  struct Hopper {
+    const OpRecord* op;
+    std::vector<int> chain;  // pids in first-visit order
+  };
+  std::vector<Hopper> multi;
+  for (const OpRecord& op : d.ops) {
+    // Legs are stored in record order; visit order is by leg start time.
+    std::vector<const TraceEvent*> legs;
+    for (const TraceEvent& l : op.legs) legs.push_back(&l);
+    std::stable_sort(legs.begin(), legs.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts < b->ts;
+                     });
+    Hopper h{&op, {}};
+    auto visit = [&](daosim::obs::TrackId t) {
+      if (t >= d.tracks.size()) return;
+      const int pid = d.tracks[t].pid;
+      if (h.chain.empty() || h.chain.back() != pid) h.chain.push_back(pid);
+    };
+    visit(op.track);
+    for (const TraceEvent* l : legs) visit(l->track);
+    std::vector<int> uniq = h.chain;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    if (uniq.size() > 1) multi.push_back(std::move(h));
+  }
+  os << multi.size() << " of " << d.ops.size()
+     << " ops cross nodes (legs on more than one pid)\n";
+  if (multi.empty()) return;
+  std::stable_sort(multi.begin(), multi.end(),
+                   [](const Hopper& a, const Hopper& b) {
+                     return a.op->dur > b.op->dur;
+                   });
+  std::size_t shown = 0;
+  for (const Hopper& h : multi) {
+    if (shown++ >= top) break;
+    const OpRecord& op = *h.op;
+    os << "\n" << op.type << " seq " << op.seq << "  start " << op.start
+       << " ns  dur " << op.dur << " ns\n  nodes:";
+    for (std::size_t i = 0; i < h.chain.size(); ++i) {
+      os << (i == 0 ? " " : " -> ") << h.chain[i];
+    }
+    os << "\n";
+    for (const TraceEvent& l : op.legs) {
+      if (l.name == nullptr || std::strcmp(l.name, "send") != 0) continue;
+      const int pid =
+          l.track < d.tracks.size() ? d.tracks[l.track].pid : -1;
+      os << "  send @ node " << pid << ": ts " << l.ts << " ns, dur "
+         << l.dur << " ns (wait " << l.wait << " ns)\n";
+    }
+  }
+  if (multi.size() > shown) {
+    os << "\n(" << multi.size() - shown
+       << " more; raise --top to list them)\n";
+  }
 }
 
 daosim::obs::TraceDump load(const std::string& file) {
@@ -95,7 +167,7 @@ int main(int argc, char** argv) {
   const std::size_t want_files = command == "diff" ? 2 : 1;
   if (command.empty() || files.size() != want_files) usage(argv[0]);
   if (command != "breakdown" && command != "exemplars" &&
-      command != "folded" && command != "diff") {
+      command != "folded" && command != "diff" && command != "hops") {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     usage(argv[0]);
   }
@@ -113,6 +185,8 @@ int main(int argc, char** argv) {
       writeExemplars(out, a.ops, stations_a, top);
     } else if (command == "folded") {
       writeFoldedStacks(out, a.ops, stations_a);
+    } else if (command == "hops") {
+      writeHops(out, a, top);
     } else {  // diff
       const TraceDump b = load(files[1]);
       writeStationDiff(out, a.ops, stations_a, b.ops, stationNames(b.tracks));
